@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one artefact of the paper (a table, a figure, or a
+numbered claim from Section IV), prints it, asserts the qualitative result,
+and records one timing sample via pytest-benchmark. Campaigns are expensive
+relative to micro-benchmarks, so benches use ``run_once`` (pedantic mode,
+one round) — the interesting number is the artefact, the timing is context.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the regenerated tables and Fig. 3 fault maps.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["run_once", "banner"]
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Execute ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def banner(title: str) -> str:
+    """A section banner for the printed artefacts."""
+    rule = "=" * max(len(title), 60)
+    return f"\n{rule}\n{title}\n{rule}"

@@ -1,0 +1,72 @@
+"""Experiment M2 — DNN accuracy vs number of faulty MACs.
+
+The paper's introduction motivates the study with Zhang et al.'s result:
+"the classification accuracy of CNN on the MNIST dataset drops by 40% if
+even 0.01% (8 out of 65K) MAC units are affected by stuck-at faults."
+
+This bench runs the synthetic-digits classifier on the fault-injectable
+systolic mesh with k in {0, 1, 2, 4, 8} faulty MACs and reports accuracy —
+the shape to reproduce is the cliff: a tiny faulty fraction craters
+accuracy far beyond proportionality.
+"""
+
+import numpy as np
+
+from repro.core.reports import format_table
+from repro.faults import FaultInjector, FaultSet, FaultSite, StuckAtFault
+from repro.nn import SystolicBackend, build_dense_classifier, make_digits
+from repro.systolic import Dataflow, MeshConfig
+
+from _common import banner, run_once
+
+MESH = MeshConfig.paper()
+WS = Dataflow.WEIGHT_STATIONARY
+
+
+def _fault_set(num_faults: int, rng: np.random.Generator) -> FaultSet:
+    # Restrict to the mesh region the Dense layer actually uses
+    # (10 output columns) so every fault is live.
+    sites = set()
+    while len(sites) < num_faults:
+        sites.add((int(rng.integers(0, 16)), int(rng.integers(0, 10))))
+    return FaultSet.from_iterable(
+        StuckAtFault(site=FaultSite(r, c, "sum", 28), stuck_value=1)
+        for r, c in sites
+    )
+
+
+def run_accuracy_study():
+    x, y = make_digits(300, noise=0.03, seed=21)
+    model = build_dense_classifier()
+    rng = np.random.default_rng(99)
+    report = []
+    for num_faults in (0, 1, 2, 4, 8):
+        if num_faults == 0:
+            model.set_backend(SystolicBackend(MESH))
+        else:
+            injector = FaultInjector(_fault_set(num_faults, rng))
+            model.set_backend(SystolicBackend(MESH, injector, WS))
+        report.append((num_faults, model.evaluate(x, y)))
+    return report
+
+
+def test_accuracy_vs_faulty_macs(benchmark):
+    report = run_once(benchmark, run_accuracy_study)
+    print(banner("M2 — classifier accuracy vs #faulty MACs (16x16 mesh)"))
+    print(
+        format_table(
+            ("faulty MACs", "share of mesh", "accuracy"),
+            [
+                (k, f"{100 * k / 256:.2f}%", f"{100 * acc:.1f}%")
+                for k, acc in report
+            ],
+        )
+    )
+    accuracies = dict(report)
+    baseline = accuracies[0]
+    assert baseline > 0.85
+    # The paper's motivating cliff: a single faulty MAC (0.4% of the mesh)
+    # costs far more than 40% accuracy.
+    assert accuracies[1] < baseline - 0.4
+    # More faults never recover accuracy to near-baseline.
+    assert max(accuracies[k] for k in (1, 2, 4, 8)) < baseline - 0.3

@@ -1,0 +1,102 @@
+"""Experiment A1 — application-level FI vs the RTL-equivalent simulator.
+
+The paper's end goal: application-level injectors (TensorFI / LLTFI) armed
+with the on-the-fly pattern model should reproduce the systolic array's
+fault behaviour without simulating it. This ablation measures, over an
+exhaustive fault sweep:
+
+* spatial agreement — does the app-level injector corrupt exactly the
+  cells the simulator corrupts? (100% on the anti-masking workload);
+* speedup — how much cheaper is pattern-based corruption than simulation;
+* scalability — app-level derivation at mesh sizes the paper's FPGA could
+  not synthesise (128x128).
+"""
+
+import time
+
+import numpy as np
+
+from repro.appfi import AppLevelInjector
+from repro.core.reports import format_table
+from repro.faults import FaultInjector, FaultSite
+from repro.ops.gemm import TiledGemm
+from repro.ops.reference import reference_gemm
+from repro.systolic import Dataflow, FunctionalSimulator, MeshConfig
+
+from _common import banner, run_once
+
+MESH = MeshConfig.paper()
+WS = Dataflow.WEIGHT_STATIONARY
+
+
+def run_ablation():
+    ones = np.ones((32, 32), dtype=np.int64)
+    golden = reference_gemm(ones, ones)
+
+    sim_seconds = 0.0
+    app_seconds = 0.0
+    agree = 0
+    total = 0
+    for row in range(16):
+        for col in range(16):
+            site = FaultSite(row, col, "sum", 20)
+
+            start = time.perf_counter()
+            injector = FaultInjector.single_stuck_at(site, 1)
+            sim_out = TiledGemm(FunctionalSimulator(MESH, injector))(
+                ones, ones, WS
+            ).output
+            sim_seconds += time.perf_counter() - start
+
+            start = time.perf_counter()
+            app = AppLevelInjector(MESH, WS, bit=20, mode="stuck1")
+            app_out = app.inject_gemm(golden, k=32, site=site)
+            app_seconds += time.perf_counter() - start
+
+            total += 1
+            if np.array_equal(sim_out != golden, app_out != golden):
+                agree += 1
+    return agree, total, sim_seconds, app_seconds
+
+
+def test_appfi_vs_rtl_agreement(benchmark):
+    agree, total, sim_seconds, app_seconds = run_once(benchmark, run_ablation)
+    speedup = sim_seconds / app_seconds
+    print(banner("A1 — app-level pattern FI vs RTL-equivalent simulation"))
+    print(
+        format_table(
+            ("metric", "value"),
+            [
+                ("fault sites compared", total),
+                ("spatial agreement", f"{agree}/{total}"),
+                ("simulator time", f"{sim_seconds:.2f}s"),
+                ("app-level time", f"{app_seconds:.2f}s"),
+                ("speedup", f"{speedup:.1f}x"),
+            ],
+        )
+    )
+    assert agree == total
+    assert speedup > 1.0
+
+
+def test_appfi_scales_past_fpga_limits(benchmark):
+    """The paper: a 128x128 array needs 10x more logic cells than their
+    FPGA had. The app-level model handles it instantly."""
+
+    def derive_on_big_mesh():
+        big = MeshConfig(rows=128, cols=128)
+        injector = AppLevelInjector(big, WS, bit=20)
+        output = np.zeros((512, 512), dtype=np.int64)
+        start = time.perf_counter()
+        corrupted = injector.inject_gemm(
+            output, k=512, site=FaultSite(100, 37, "sum", 20)
+        )
+        seconds = time.perf_counter() - start
+        cols = sorted(set(np.where(output != corrupted)[1]))
+        return cols, seconds
+
+    cols, seconds = run_once(benchmark, derive_on_big_mesh)
+    print(banner("A1b — 128x128 hardware model at app level"))
+    print(f"corrupted columns: {cols}  ({seconds * 1000:.1f} ms)")
+    assert cols == [37, 165, 293, 421]
+    assert seconds < 1.0

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This repository is configured through ``pyproject.toml``; this file exists
+only so that ``pip install -e .`` works on environments without the
+``wheel`` package (PEP 517 editable builds require it; the legacy
+``setup.py develop`` path does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Analysis and visualisation of fault patterns and campaigns.
+
+Public API
+----------
+:func:`~repro.analysis.visualize.render_gemm_pattern` /
+:func:`~repro.analysis.visualize.render_conv_pattern`
+    ASCII Fig. 3-style fault maps.
+:mod:`~repro.analysis.spatial`
+    Bounding boxes, histograms, per-tile counts, translation symmetry.
+:mod:`~repro.analysis.stats`
+    Cross-campaign summary tables.
+"""
+
+from repro.analysis.spatial import (
+    BoundingBox,
+    bounding_box,
+    col_histogram,
+    patterns_translation_equivalent,
+    per_tile_counts,
+    row_histogram,
+)
+from repro.analysis.stats import ConfigurationSummary, summarize, summary_table
+from repro.analysis.visualize import (
+    render_conv_pattern,
+    render_gemm_pattern,
+    render_mac_liveness,
+    render_mask,
+)
+
+__all__ = [
+    "render_gemm_pattern",
+    "render_conv_pattern",
+    "render_mask",
+    "render_mac_liveness",
+    "BoundingBox",
+    "bounding_box",
+    "row_histogram",
+    "col_histogram",
+    "per_tile_counts",
+    "patterns_translation_equivalent",
+    "ConfigurationSummary",
+    "summarize",
+    "summary_table",
+]

@@ -1,0 +1,115 @@
+"""Spatial statistics of fault patterns.
+
+Quantifies the spatial structure the paper reads off its figures: bounding
+boxes, row/column concentration, per-tile corruption counts, and the
+*translation symmetry* check behind the paper's position-independence
+claim — every experiment of a configuration produces the same pattern up to
+a translation determined by the fault's mesh coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fault_patterns import FaultPattern
+from repro.ops.tiling import TilingPlan
+
+__all__ = [
+    "BoundingBox",
+    "bounding_box",
+    "row_histogram",
+    "col_histogram",
+    "per_tile_counts",
+    "patterns_translation_equivalent",
+]
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Inclusive bounding box of corrupted cells in GEMM space."""
+
+    top: int
+    left: int
+    bottom: int
+    right: int
+
+    @property
+    def height(self) -> int:
+        return self.bottom - self.top + 1
+
+    @property
+    def width(self) -> int:
+        return self.right - self.left + 1
+
+    @property
+    def area(self) -> int:
+        return self.height * self.width
+
+
+def bounding_box(pattern: FaultPattern) -> BoundingBox | None:
+    """The bounding box of corruption, or None when masked."""
+    mask = pattern.gemm_mask()
+    rows, cols = np.where(mask)
+    if rows.size == 0:
+        return None
+    return BoundingBox(
+        top=int(rows.min()),
+        left=int(cols.min()),
+        bottom=int(rows.max()),
+        right=int(cols.max()),
+    )
+
+
+def row_histogram(pattern: FaultPattern) -> np.ndarray:
+    """Corrupted cells per GEMM output row."""
+    return pattern.gemm_mask().sum(axis=1)
+
+
+def col_histogram(pattern: FaultPattern) -> np.ndarray:
+    """Corrupted cells per GEMM output column."""
+    return pattern.gemm_mask().sum(axis=0)
+
+
+def per_tile_counts(pattern: FaultPattern, plan: TilingPlan | None = None) -> np.ndarray:
+    """Corrupted cells per output tile, as a (m_tiles, n_tiles) grid."""
+    plan = plan or pattern.plan
+    if plan is None:
+        raise ValueError("per_tile_counts requires the run's tiling plan")
+    mask = pattern.gemm_mask()
+    counts = np.zeros((len(plan.m_tiles), len(plan.n_tiles)), dtype=np.int64)
+    for i, m_range in enumerate(plan.m_tiles):
+        for j, n_range in enumerate(plan.n_tiles):
+            counts[i, j] = int(
+                mask[m_range.start : m_range.stop, n_range.start : n_range.stop].sum()
+            )
+    return counts
+
+
+def patterns_translation_equivalent(
+    first: FaultPattern,
+    second: FaultPattern,
+    row_shift: int,
+    col_shift: int,
+) -> bool:
+    """Whether ``second`` equals ``first`` translated by the given shifts.
+
+    The paper's symmetry observation implies that moving the faulty MAC
+    from ``(r1, c1)`` to ``(r2, c2)`` translates the corruption mask by
+    ``(r2 - r1, c2 - c1)`` within each tile (for OS; by the column delta
+    for WS). Cells translated outside the output are dropped, matching
+    edge tiles.
+    """
+    a = first.gemm_mask()
+    b = second.gemm_mask()
+    if a.shape != b.shape:
+        raise ValueError(f"mask shapes differ: {a.shape} vs {b.shape}")
+    translated = np.zeros_like(a)
+    rows, cols = np.where(a)
+    height, width = a.shape
+    for r, c in zip(rows.tolist(), cols.tolist()):
+        nr, nc = r + row_shift, c + col_shift
+        if 0 <= nr < height and 0 <= nc < width:
+            translated[nr, nc] = True
+    return bool(np.array_equal(translated, b))

@@ -1,0 +1,69 @@
+"""Cross-campaign aggregation for the experiment reports.
+
+Where :mod:`repro.core.metrics` reduces a single campaign, this module
+aggregates *sets* of campaigns into the tables the benches print: one row
+per configuration with its dominant class, SDC rate and corruption volume —
+the tabular form of the paper's Fig. 3 + Section IV discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.campaign import CampaignResult
+from repro.core.classifier import PatternClass
+from repro.core.reports import format_table
+
+__all__ = ["ConfigurationSummary", "summarize", "summary_table"]
+
+
+@dataclass(frozen=True)
+class ConfigurationSummary:
+    """One configuration's row in the cross-campaign report."""
+
+    name: str
+    experiments: int
+    dominant_class: PatternClass
+    single_class: bool
+    sdc_rate: float
+    mean_corrupted_cells: float
+    wall_seconds: float
+
+    def as_row(self) -> tuple[str, int, str, str, str, str, str]:
+        return (
+            self.name,
+            self.experiments,
+            str(self.dominant_class),
+            "yes" if self.single_class else "NO",
+            f"{100.0 * self.sdc_rate:.1f}%",
+            f"{self.mean_corrupted_cells:.1f}",
+            f"{self.wall_seconds:.2f}s",
+        )
+
+
+def summarize(name: str, result: CampaignResult) -> ConfigurationSummary:
+    """Reduce one campaign into its report row."""
+    return ConfigurationSummary(
+        name=name,
+        experiments=len(result.experiments),
+        dominant_class=result.dominant_class(),
+        single_class=result.is_single_class(),
+        sdc_rate=result.sdc_rate(),
+        mean_corrupted_cells=result.mean_corrupted_cells(),
+        wall_seconds=result.wall_seconds,
+    )
+
+
+def summary_table(campaigns: dict[str, CampaignResult]) -> str:
+    """A formatted table, one row per configuration."""
+    headers = (
+        "configuration",
+        "experiments",
+        "pattern class",
+        "single-class",
+        "SDC rate",
+        "mean corrupted",
+        "wall time",
+    )
+    rows = [summarize(name, result).as_row() for name, result in campaigns.items()]
+    return format_table(headers, rows)

@@ -1,0 +1,113 @@
+"""ASCII rendering of fault patterns (the repo's version of Fig. 3).
+
+The paper presents fault patterns as coloured grids with tile boundaries
+highlighted. These renderers produce the same artefacts as text so the
+benches and examples can print them: ``#`` marks a corrupted element,
+``.`` a correct one, and tile boundaries are drawn with ``|`` / ``-``
+rules, one glyph per output element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fault_patterns import FaultPattern
+from repro.ops.tiling import TilingPlan
+
+__all__ = [
+    "render_gemm_pattern",
+    "render_conv_pattern",
+    "render_mask",
+    "render_mac_liveness",
+]
+
+_CORRUPT = "#"
+_CLEAN = "."
+
+
+def render_mask(mask: np.ndarray) -> str:
+    """Render a plain 2-D boolean mask without tile rules."""
+    mask = np.asarray(mask)
+    if mask.ndim != 2:
+        raise ValueError(f"expected a 2-D mask, got shape {mask.shape}")
+    return "\n".join(
+        "".join(_CORRUPT if cell else _CLEAN for cell in row) for row in mask
+    )
+
+
+def render_gemm_pattern(
+    pattern: FaultPattern, plan: TilingPlan | None = None
+) -> str:
+    """Render a GEMM fault pattern with tile boundaries (Fig. 3a-3d).
+
+    Rows/columns are separated by rules at tile boundaries so the
+    multi-tile replication of a fault (RQ3) is visually obvious, exactly
+    like the paper's coloured tiles.
+    """
+    plan = plan or pattern.plan
+    mask = pattern.gemm_mask()
+    if plan is None:
+        return render_mask(mask)
+    rows, cols = mask.shape
+    col_bounds = {r.start for r in plan.n_tiles if r.start}
+    row_bounds = {r.start for r in plan.m_tiles if r.start}
+
+    def render_row(row_cells: np.ndarray) -> str:
+        out = []
+        for c in range(cols):
+            if c in col_bounds:
+                out.append("|")
+            out.append(_CORRUPT if row_cells[c] else _CLEAN)
+        return "".join(out)
+
+    width = cols + len(col_bounds)
+    lines = []
+    for r in range(rows):
+        if r in row_bounds:
+            lines.append("-" * width)
+        lines.append(render_row(mask[r]))
+    return "\n".join(lines)
+
+
+def render_mac_liveness(result) -> str:
+    """Render which MAC positions of a campaign's mesh reached the output.
+
+    One glyph per MAC of the exhaustively-swept mesh: ``#`` where the
+    injected fault caused SDC, ``.`` where it was masked. This is the
+    mesh-side view of architectural masking — e.g. a K=3 convolution under
+    WS lights up exactly three columns.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.core.campaign.CampaignResult` whose sites cover
+        (part of) the mesh; unswept positions render as a space.
+    """
+    mesh = result.mesh
+    grid = [[" "] * mesh.cols for _ in range(mesh.rows)]
+    for experiment in result.experiments:
+        glyph = _CORRUPT if experiment.sdc else _CLEAN
+        grid[experiment.site.row][experiment.site.col] = glyph
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_conv_pattern(pattern: FaultPattern, batch: int = 0) -> str:
+    """Render a convolution fault pattern channel by channel (Fig. 3e-3g).
+
+    Each output channel of the chosen batch element is drawn as its own
+    ``P x Q`` grid, labelled and flagged when corrupted.
+    """
+    if not pattern.is_conv:
+        raise ValueError("render_conv_pattern requires a convolution pattern")
+    geometry = pattern.geometry
+    assert geometry is not None
+    if not 0 <= batch < geometry.n:
+        raise ValueError(f"batch {batch} out of range [0, {geometry.n})")
+    corrupted = set(pattern.corrupted_channels())
+    blocks = []
+    for k in range(geometry.k):
+        flag = "  <-- corrupted" if k in corrupted else ""
+        header = f"channel {k}{flag}"
+        grid = render_mask(pattern.mask[batch, k])
+        blocks.append(header + "\n" + grid)
+    return "\n\n".join(blocks)

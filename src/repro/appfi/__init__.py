@@ -1,0 +1,30 @@
+"""Application-level fault injection with a systolic-array hardware model.
+
+This package implements the paper's proposed integration with tools like
+TensorFI / PyTorchFI / LLTFI: instead of corrupting random tensor elements,
+it derives the exact element/column/channel corruption pattern a stuck-at
+fault in a given MAC would cause — for any mesh size and dataflow — and
+applies it to operator outputs at runtime.
+
+Public API
+----------
+:class:`~repro.appfi.runtime_patterns.HardwareModel`
+    On-the-fly pattern derivation for GEMM and conv shapes.
+:class:`~repro.appfi.injector.AppLevelInjector`
+    The tensor-level injector with provenance history.
+:func:`~repro.appfi.hooks.attach_permanent_fault`
+    One-call hookup to a :class:`repro.nn.Sequential` model.
+"""
+
+from repro.appfi.hooks import attach_permanent_fault, detach_faults
+from repro.appfi.injector import AppLevelInjector, InjectionRecord
+from repro.appfi.runtime_patterns import DerivedPattern, HardwareModel
+
+__all__ = [
+    "HardwareModel",
+    "DerivedPattern",
+    "AppLevelInjector",
+    "InjectionRecord",
+    "attach_permanent_fault",
+    "detach_faults",
+]

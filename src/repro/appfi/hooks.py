@@ -1,0 +1,55 @@
+"""Operator hooks binding the application-level injector to DNN models.
+
+LLTFI and TensorFI instrument a model's operators so chosen ones are
+perturbed at runtime; :func:`attach_permanent_fault` is the equivalent for
+:class:`~repro.nn.model.Sequential` models: it routes every compute layer
+through a :class:`~repro.nn.backends.PatternInjectionBackend` emulating one
+permanent stuck-at fault in the modelled accelerator — every GEMM and
+convolution the model executes is corrupted with the derived pattern, just
+as a permanent hardware fault corrupts every operation that runs on the
+faulty mesh.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.appfi.injector import AppLevelInjector
+from repro.faults.sites import FaultSite
+from repro.systolic.array import MeshConfig
+from repro.systolic.dataflow import Dataflow
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nn.model import Sequential
+
+__all__ = ["attach_permanent_fault", "detach_faults"]
+
+
+def attach_permanent_fault(
+    model: "Sequential",
+    mesh: MeshConfig,
+    site: FaultSite,
+    dataflow: Dataflow = Dataflow.WEIGHT_STATIONARY,
+    bit: int = 20,
+    mode: str = "stuck1",
+) -> AppLevelInjector:
+    """Emulate a permanent stuck-at fault under ``model`` at app level.
+
+    Returns the injector so callers can inspect ``injector.history`` (one
+    record per corrupted operation) after running inference.
+    """
+    # Imported here (not at module scope) to keep repro.appfi importable
+    # independently of repro.nn and avoid a circular import through
+    # repro.nn.backends.
+    from repro.nn.backends import PatternInjectionBackend
+
+    injector = AppLevelInjector(mesh, dataflow=dataflow, bit=bit, mode=mode)
+    model.set_backend(PatternInjectionBackend(injector, site))
+    return injector
+
+
+def detach_faults(model: "Sequential") -> None:
+    """Restore golden execution on every compute layer."""
+    from repro.nn.backends import ReferenceBackend
+
+    model.set_backend(ReferenceBackend())

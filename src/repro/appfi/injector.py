@@ -1,0 +1,148 @@
+"""The application-level fault injector (a TensorFI/LLTFI-style tool).
+
+:class:`AppLevelInjector` perturbs the *outputs of tensor operations* —
+never simulating the hardware — using the systolic-array-aware fault
+patterns derived by :class:`~repro.appfi.runtime_patterns.HardwareModel`.
+This is precisely the tool class the paper aims to improve: existing
+application-level injectors corrupt single random elements; with the
+paper's pattern model they corrupt the element/column/channel structure a
+real stuck-at fault would produce.
+
+The injector operates on plain numpy tensors, so it composes with the
+:mod:`repro.nn` inference engine through :mod:`repro.appfi.hooks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.appfi.runtime_patterns import DerivedPattern, HardwareModel
+from repro.faults.sites import FaultSite
+from repro.ops.im2col import ConvGeometry
+from repro.systolic.array import MeshConfig
+from repro.systolic.dataflow import Dataflow
+
+__all__ = ["InjectionRecord", "AppLevelInjector"]
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """Provenance of one application-level injection."""
+
+    site: FaultSite
+    pattern: DerivedPattern
+    bit: int
+    mode: str
+    cells_corrupted: int
+
+
+class AppLevelInjector:
+    """Injects systolic-array fault patterns into tensor-op outputs.
+
+    Parameters
+    ----------
+    mesh, dataflow:
+        The hardware model to emulate. Any mesh size works — deriving
+        patterns for a 128x128 array is as cheap as for 16x16, which is
+        the scalability argument of the paper's discussion.
+    bit:
+        Output bit targeted by the value perturbation.
+    mode:
+        ``"stuck1"`` (default), ``"stuck0"`` or ``"flip"``.
+    seed:
+        Seed for random site selection.
+    """
+
+    def __init__(
+        self,
+        mesh: MeshConfig,
+        dataflow: Dataflow = Dataflow.WEIGHT_STATIONARY,
+        bit: int = 20,
+        mode: str = "stuck1",
+        seed: int = 0,
+    ) -> None:
+        self.model = HardwareModel(mesh, dataflow)
+        self.bit = bit
+        self.mode = mode
+        self._rng = np.random.default_rng(seed)
+        self.history: list[InjectionRecord] = []
+
+    # ------------------------------------------------------------------
+    # GEMM outputs
+    # ------------------------------------------------------------------
+    def inject_gemm(
+        self,
+        output: np.ndarray,
+        k: int,
+        site: FaultSite | None = None,
+    ) -> np.ndarray:
+        """Corrupt a ``(M, N)`` GEMM output as a stuck-at at ``site`` would.
+
+        Parameters
+        ----------
+        output:
+            The fault-free operation output.
+        k:
+            The GEMM's reduction dimension (needed for the tiling plan).
+        site:
+            The faulty MAC; random when omitted.
+        """
+        output = np.asarray(output)
+        if output.ndim != 2:
+            raise ValueError(f"expected a 2-D GEMM output, got {output.shape}")
+        if site is None:
+            site = self.model.random_site(self._rng, bit=self.bit)
+        m, n = output.shape
+        pattern = self.model.derive_gemm(m, k, n, site)
+        corrupted = self.model.corrupt(
+            output, pattern.gemm_support, self.bit, self.mode
+        )
+        self._record(site, pattern, int(pattern.gemm_support.sum()))
+        return corrupted
+
+    # ------------------------------------------------------------------
+    # Convolution outputs
+    # ------------------------------------------------------------------
+    def inject_conv(
+        self,
+        output: np.ndarray,
+        geometry: ConvGeometry,
+        site: FaultSite | None = None,
+    ) -> np.ndarray:
+        """Corrupt an ``(N, K, P, Q)`` convolution output."""
+        output = np.asarray(output)
+        if output.shape != (geometry.n, geometry.k, geometry.p, geometry.q):
+            raise ValueError(
+                f"output shape {output.shape} does not match geometry "
+                f"({geometry.n}, {geometry.k}, {geometry.p}, {geometry.q})"
+            )
+        if site is None:
+            site = self.model.random_site(self._rng, bit=self.bit)
+        pattern = self.model.derive_conv(geometry, site)
+        support = pattern.conv_support()
+        corrupted = self.model.corrupt(output, support, self.bit, self.mode)
+        self._record(site, pattern, int(support.sum()))
+        return corrupted
+
+    # ------------------------------------------------------------------
+    def _record(
+        self, site: FaultSite, pattern: DerivedPattern, cells: int
+    ) -> None:
+        self.history.append(
+            InjectionRecord(
+                site=site,
+                pattern=pattern,
+                bit=self.bit,
+                mode=self.mode,
+                cells_corrupted=cells,
+            )
+        )
+
+    @property
+    def last(self) -> InjectionRecord:
+        """The most recent injection's provenance."""
+        if not self.history:
+            raise RuntimeError("no injection performed yet")
+        return self.history[-1]

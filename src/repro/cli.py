@@ -1,0 +1,302 @@
+"""Command-line interface to the FI framework.
+
+Four subcommands mirror the workflows of the paper:
+
+``repro-fi campaign``
+    Run an SSF campaign (exhaustive or sampled) for a GEMM or convolution
+    workload and print the summary; optionally dump the raw results or an
+    LLTFI-style fault dictionary as JSON.
+``repro-fi predict``
+    Analytically predict the fault pattern of one site for a GEMM shape —
+    no simulation — and render it.
+``repro-fi atlas``
+    Print one rendered example of every pattern class.
+``repro-fi statespace``
+    Print the FI state-space arithmetic of Section III-A.
+
+Examples
+--------
+::
+
+    repro-fi campaign --op gemm --size 16 --dataflow WS
+    repro-fi campaign --op conv --size 16 --kernel 3,3,3,8 --dict faults.json
+    repro-fi predict --m 112 --k 112 --n 112 --dataflow WS --row 5 --col 9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import render_gemm_pattern, summary_table
+from repro.core import (
+    Campaign,
+    ConvWorkload,
+    FaultSpec,
+    GemmWorkload,
+    diagonal_sites,
+    predict_pattern,
+)
+from repro.core.reports import campaign_summary, format_table
+from repro.core.sampling import StateSpace, random_sites
+from repro.core.serialize import save_campaign, save_fault_dictionary
+from repro.faults.sites import FaultSite
+from repro.ops.tiling import plan_gemm_tiling
+from repro.systolic import Dataflow, MeshConfig
+
+__all__ = ["main", "build_parser"]
+
+_DATAFLOWS = {d.value: d for d in Dataflow}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and docs generation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fi",
+        description="Stuck-at fault injection for systolic arrays "
+        "(DSN 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser("campaign", help="run an SSF campaign")
+    campaign.add_argument("--rows", type=int, default=16, help="mesh rows")
+    campaign.add_argument("--cols", type=int, default=16, help="mesh cols")
+    campaign.add_argument(
+        "--op", choices=("gemm", "conv"), default="gemm", help="operation type"
+    )
+    campaign.add_argument(
+        "--size", type=int, default=16, help="square operand / input size"
+    )
+    campaign.add_argument(
+        "--kernel",
+        default="3,3,3,3",
+        help="conv kernel as R,S,C,K (paper Table I notation)",
+    )
+    campaign.add_argument(
+        "--dataflow", choices=sorted(_DATAFLOWS), default="WS"
+    )
+    campaign.add_argument("--bit", type=int, default=20, help="stuck bit")
+    campaign.add_argument(
+        "--stuck", type=int, choices=(0, 1), default=1, help="stuck value"
+    )
+    campaign.add_argument(
+        "--signal",
+        default="sum",
+        choices=("a_reg", "b_reg", "product", "sum"),
+        help="datapath signal to inject into (paper: sum)",
+    )
+    campaign.add_argument(
+        "--sites",
+        choices=("all", "diagonal", "random"),
+        default="all",
+        help="site-selection strategy",
+    )
+    campaign.add_argument(
+        "--num-random", type=int, default=16, help="sites when --sites random"
+    )
+    campaign.add_argument("--json", help="write full results JSON here")
+    campaign.add_argument(
+        "--dict", dest="dictionary", help="write fault dictionary JSON here"
+    )
+
+    predict = sub.add_parser(
+        "predict", help="analytically predict one fault pattern"
+    )
+    predict.add_argument("--rows", type=int, default=16)
+    predict.add_argument("--cols", type=int, default=16)
+    predict.add_argument("--m", type=int, required=True)
+    predict.add_argument("--k", type=int, required=True)
+    predict.add_argument("--n", type=int, required=True)
+    predict.add_argument("--dataflow", choices=sorted(_DATAFLOWS), default="WS")
+    predict.add_argument("--row", type=int, required=True, help="faulty MAC row")
+    predict.add_argument("--col", type=int, required=True, help="faulty MAC col")
+
+    sub.add_parser("atlas", help="render one example of every pattern class")
+    sub.add_parser("statespace", help="print the Section III-A arithmetic")
+
+    study = sub.add_parser(
+        "study", help="run the paper's full Table I grid and report"
+    )
+    study.add_argument("--rows", type=int, default=16)
+    study.add_argument("--cols", type=int, default=16)
+    study.add_argument(
+        "--fast",
+        action="store_true",
+        help="diagonal site sweep and no 112x112 configs",
+    )
+    study.add_argument("--markdown", help="write the report as markdown here")
+
+    zoo = sub.add_parser(
+        "zoo", help="per-layer vulnerability of a known network's shapes"
+    )
+    zoo.add_argument(
+        "network",
+        choices=("lenet5", "alexnet", "resnet18"),
+        help="network whose layer shapes to characterise",
+    )
+    zoo.add_argument("--rows", type=int, default=16)
+    zoo.add_argument("--cols", type=int, default=16)
+    zoo.add_argument(
+        "--dataflow", choices=sorted(_DATAFLOWS), default="WS"
+    )
+    return parser
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    mesh = MeshConfig(rows=args.rows, cols=args.cols)
+    dataflow = _DATAFLOWS[args.dataflow]
+    if args.op == "gemm":
+        workload = GemmWorkload.square(args.size, dataflow)
+    else:
+        try:
+            r, s, c, k = (int(part) for part in args.kernel.split(","))
+        except ValueError:
+            print(f"error: --kernel must be R,S,C,K, got {args.kernel!r}",
+                  file=sys.stderr)
+            return 2
+        workload = ConvWorkload.paper_kernel(
+            args.size, (r, s, c, k), dataflow=dataflow
+        )
+    if args.sites == "all":
+        sites = None
+    elif args.sites == "diagonal":
+        sites = diagonal_sites(mesh)
+    else:
+        sites = random_sites(mesh, args.num_random)
+    spec = FaultSpec(signal=args.signal, bit=args.bit, stuck_value=args.stuck)
+    result = Campaign(mesh, workload, fault_spec=spec, sites=sites).run()
+    print(campaign_summary(result))
+    if args.json:
+        path = save_campaign(result, args.json)
+        print(f"\nresults written to {path}")
+    if args.dictionary:
+        path = save_fault_dictionary(result, args.dictionary)
+        print(f"fault dictionary written to {path}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    mesh = MeshConfig(rows=args.rows, cols=args.cols)
+    dataflow = _DATAFLOWS[args.dataflow]
+    plan = plan_gemm_tiling(args.m, args.k, args.n, mesh, dataflow)
+    site = FaultSite(row=args.row, col=args.col)
+    predicted = predict_pattern(site, plan)
+    print(f"fault          : {site}")
+    print(f"GEMM           : {args.m}x{args.k}x{args.n}, {dataflow}")
+    print(f"pattern class  : {predicted.pattern_class}")
+    print(f"corrupted cells: {predicted.num_cells}")
+    if args.m <= 64 and args.n <= 64:
+        from repro.analysis.visualize import render_mask
+
+        print(render_mask(predicted.support))
+    return 0
+
+
+def _cmd_atlas(args: argparse.Namespace) -> int:
+    mesh = MeshConfig(rows=4, cols=4)
+    cases = [
+        ("single-element", GemmWorkload.square(4, Dataflow.OUTPUT_STATIONARY)),
+        ("single-element multi-tile",
+         GemmWorkload.square(8, Dataflow.OUTPUT_STATIONARY)),
+        ("single-column", GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY)),
+        ("single-column multi-tile",
+         GemmWorkload.square(8, Dataflow.WEIGHT_STATIONARY)),
+        ("single-row", GemmWorkload.square(4, Dataflow.INPUT_STATIONARY)),
+        ("single-row multi-tile",
+         GemmWorkload.square(8, Dataflow.INPUT_STATIONARY)),
+    ]
+    for title, workload in cases:
+        result = Campaign(mesh, workload, sites=[(1, 2)]).run()
+        experiment = result.experiments[0]
+        print(f"--- {title} ({workload.describe()}) ---")
+        print(render_gemm_pattern(experiment.pattern))
+        print()
+    return 0
+
+
+def _cmd_statespace(args: argparse.Namespace) -> int:
+    space = StateSpace(mesh=MeshConfig.paper())
+    rows = [
+        ("MAC units", space.mesh.num_macs),
+        ("bits per MAC", space.sites_per_mac),
+        ("fault sites", space.num_fault_sites),
+        ("total configurations", space.total_configurations),
+    ]
+    print(format_table(("component", "count"), rows))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.study import run_paper_study
+
+    mesh = MeshConfig(rows=args.rows, cols=args.cols)
+    sites = diagonal_sites(mesh) if args.fast else None
+    report = run_paper_study(
+        mesh=mesh, sites=sites, include_large=not args.fast
+    )
+    print(report.to_text())
+    if args.markdown:
+        Path(args.markdown).write_text(report.to_markdown())
+        print(f"\nmarkdown report written to {args.markdown}")
+    return 0 if report.all_match_theory else 1
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    from repro.core.vulnerability import analyze_operation
+    from repro.nn.zoo import NETWORKS
+
+    mesh = MeshConfig(rows=args.rows, cols=args.cols)
+    dataflow = _DATAFLOWS[args.dataflow]
+    rows = []
+    for layer in NETWORKS[args.network]:
+        plan = layer.plan(mesh, dataflow)
+        profile = analyze_operation(plan, mesh, geometry=layer.geometry())
+        m, k, n = layer.gemm_shape()
+        rows.append(
+            (
+                layer.name,
+                f"{m}x{k}x{n}",
+                f"{100 * profile.architectural_sdc_rate:.0f}%",
+                str(profile.dominant_class),
+                f"{profile.mean_blast_radius:.0f}",
+                f"{100 * profile.mean_output_fraction:.1f}%",
+            )
+        )
+    print(
+        f"{args.network} on {mesh.rows}x{mesh.cols} mesh, {dataflow} dataflow"
+    )
+    print(
+        format_table(
+            (
+                "layer",
+                "lowered GEMM",
+                "arch. SDC",
+                "pattern class",
+                "blast radius",
+                "of output",
+            ),
+            rows,
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "campaign": _cmd_campaign,
+        "predict": _cmd_predict,
+        "atlas": _cmd_atlas,
+        "statespace": _cmd_statespace,
+        "study": _cmd_study,
+        "zoo": _cmd_zoo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

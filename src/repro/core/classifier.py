@@ -1,0 +1,205 @@
+"""The paper's fault-pattern taxonomy and the automatic classifier.
+
+Section IV's discussion concludes that every observed pattern falls into one
+of six well-defined classes, determined by the spatial distribution of
+corrupted output elements:
+
+* ``SINGLE_ELEMENT`` — one corrupted element (OS, untiled; Fig. 3b);
+* ``SINGLE_ELEMENT_MULTI_TILE`` — the same local element corrupted in
+  several output tiles (OS, tiled; Fig. 3d);
+* ``SINGLE_COLUMN`` — one fully corrupted output column (WS, untiled;
+  Fig. 3a);
+* ``SINGLE_COLUMN_MULTI_TILE`` — the same local column corrupted in several
+  column tiles (WS, tiled; Fig. 3c);
+* ``SINGLE_CHANNEL`` — one corrupted convolution output channel (Fig. 3e);
+* ``MULTI_CHANNEL`` — several corrupted output channels (Fig. 3f/3g).
+
+We add two classes the paper's prose implies but does not name —
+``MASKED`` (the fault produced no output corruption — e.g. stuck-at-0 on a
+bit that is always 0) and ``OTHER`` (outside the taxonomy; never produced
+by single stuck-at faults in our experiments, matching the paper's claim
+that SSF patterns are always well-defined) — and two extension classes,
+``SINGLE_ROW`` / ``SINGLE_ROW_MULTI_TILE``, produced by the
+input-stationary dataflow the paper names but does not evaluate
+(Section II-D): under IS the output-row dimension lies across mesh
+columns, so a stuck-at fault corrupts an output row, the exact dual of
+the WS column pattern.
+
+Classification is purely structural: it looks only at the corruption mask,
+the tiling plan and (for convolution) the lowering geometry — never at the
+fault location — so it can confirm the paper's determinism claim
+independently of the predictor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fault_patterns import FaultPattern
+from repro.ops.tiling import TilingPlan
+
+__all__ = ["PatternClass", "Classification", "classify_pattern", "classify_mask"]
+
+
+class PatternClass(enum.Enum):
+    """The fault-pattern classes of Section IV (plus MASKED / OTHER)."""
+
+    MASKED = "masked"
+    SINGLE_ELEMENT = "single-element"
+    SINGLE_ELEMENT_MULTI_TILE = "single-element multi-tile"
+    SINGLE_COLUMN = "single-column"
+    SINGLE_COLUMN_MULTI_TILE = "single-column multi-tile"
+    SINGLE_CHANNEL = "single-channel"
+    MULTI_CHANNEL = "multi-channel"
+    # Extension classes (input-stationary dataflow; not in the paper's six).
+    SINGLE_ROW = "single-row"
+    SINGLE_ROW_MULTI_TILE = "single-row multi-tile"
+    OTHER = "other"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Classification:
+    """A pattern class plus the structural evidence behind it.
+
+    Attributes
+    ----------
+    pattern_class:
+        The assigned taxonomy class.
+    corrupted_tiles:
+        Indices ``(m_tile, n_tile)`` of output tiles containing corruption.
+    local_cells:
+        Within-tile coordinates of corrupted cells, deduplicated — the
+        paper's position-independence means these collapse to a single
+        element or a single column offset for SSF.
+    corrupted_channels:
+        Corrupted output channels (convolution patterns only).
+    """
+
+    pattern_class: PatternClass
+    corrupted_tiles: tuple[tuple[int, int], ...] = ()
+    local_cells: tuple[tuple[int, int], ...] = ()
+    corrupted_channels: tuple[int, ...] = ()
+
+
+def _tile_of(row: int, col: int, plan: TilingPlan) -> tuple[int, int, int, int]:
+    """Map a global output cell to (m_tile, n_tile, local_row, local_col)."""
+    m_tile, local_row = divmod(row, plan.tile_m)
+    n_tile, local_col = divmod(col, plan.tile_n)
+    return m_tile, n_tile, local_row, local_col
+
+
+def _classify_gemm(mask: np.ndarray, plan: TilingPlan) -> Classification:
+    """Structural classification in GEMM output space."""
+    rows, cols = np.where(mask)
+    if rows.size == 0:
+        return Classification(pattern_class=PatternClass.MASKED)
+
+    tiles: set[tuple[int, int]] = set()
+    locals_: set[tuple[int, int]] = set()
+    for row, col in zip(rows.tolist(), cols.tolist()):
+        m_tile, n_tile, local_row, local_col = _tile_of(row, col, plan)
+        tiles.add((m_tile, n_tile))
+        locals_.add((local_row, local_col))
+
+    local_cols = {c for _, c in locals_}
+    evidence = dict(
+        corrupted_tiles=tuple(sorted(tiles)),
+        local_cells=tuple(sorted(locals_)),
+    )
+
+    # One corrupted cell overall: the OS untiled signature.
+    if rows.size == 1:
+        return Classification(pattern_class=PatternClass.SINGLE_ELEMENT, **evidence)
+
+    # One corrupted cell per tile, identical local coordinates: OS tiled.
+    if len(locals_) == 1 and rows.size == len(tiles) and len(tiles) > 1:
+        return Classification(
+            pattern_class=PatternClass.SINGLE_ELEMENT_MULTI_TILE, **evidence
+        )
+
+    # All corruption in one physical (local) column.
+    if len(local_cols) == 1:
+        global_cols = set(cols.tolist())
+        if len(global_cols) == 1:
+            return Classification(
+                pattern_class=PatternClass.SINGLE_COLUMN, **evidence
+            )
+        return Classification(
+            pattern_class=PatternClass.SINGLE_COLUMN_MULTI_TILE, **evidence
+        )
+
+    # All corruption in one physical (local) row: the IS dataflow's dual.
+    local_rows = {r for r, _ in locals_}
+    if len(local_rows) == 1:
+        global_rows = set(rows.tolist())
+        if len(global_rows) == 1:
+            return Classification(
+                pattern_class=PatternClass.SINGLE_ROW, **evidence
+            )
+        return Classification(
+            pattern_class=PatternClass.SINGLE_ROW_MULTI_TILE, **evidence
+        )
+
+    return Classification(pattern_class=PatternClass.OTHER, **evidence)
+
+
+def classify_mask(mask: np.ndarray, plan: TilingPlan) -> Classification:
+    """Classify a raw GEMM-space corruption mask against a tiling plan.
+
+    The same structural rules as :func:`classify_pattern`, exposed for
+    callers that have a mask but no :class:`FaultPattern` — notably the
+    analytical predictor, which classifies its own support through this
+    function so that predicted and observed classes can never diverge on
+    degenerate shapes (e.g. a one-row output, where a "full column" and a
+    "single element" are the same set of cells).
+    """
+    return _classify_gemm(np.asarray(mask, dtype=bool), plan)
+
+
+def classify_pattern(pattern: FaultPattern) -> Classification:
+    """Assign a :class:`PatternClass` to an extracted fault pattern.
+
+    GEMM patterns are classified on the 2-D output matrix against the
+    tiling plan. Convolution patterns are classified on the channel
+    structure of the ``(N, K, P, Q)`` output: one corrupted channel is
+    ``SINGLE_CHANNEL``, several are ``MULTI_CHANNEL``, matching how the
+    paper reads Fig. 3e-3g.
+
+    Raises
+    ------
+    ValueError
+        If the pattern carries no tiling plan (required for GEMM
+        classification).
+    """
+    if pattern.is_conv:
+        channels = pattern.corrupted_channels()
+        # Evidence in GEMM space is still useful for diagnostics.
+        gemm_evidence: tuple[tuple[int, int], ...] = ()
+        if pattern.plan is not None:
+            gemm = _classify_gemm(pattern.gemm_mask(), pattern.plan)
+            gemm_evidence = gemm.corrupted_tiles
+        if not channels:
+            return Classification(pattern_class=PatternClass.MASKED)
+        if len(channels) == 1:
+            return Classification(
+                pattern_class=PatternClass.SINGLE_CHANNEL,
+                corrupted_channels=channels,
+                corrupted_tiles=gemm_evidence,
+            )
+        return Classification(
+            pattern_class=PatternClass.MULTI_CHANNEL,
+            corrupted_channels=channels,
+            corrupted_tiles=gemm_evidence,
+        )
+
+    if pattern.plan is None:
+        raise ValueError(
+            "GEMM pattern classification requires the run's tiling plan"
+        )
+    return _classify_gemm(pattern.gemm_mask(), pattern.plan)

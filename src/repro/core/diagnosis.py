@@ -1,0 +1,164 @@
+"""Fault diagnosis: inverting the pattern predictor.
+
+The paper's determinism result runs forward — fault site to pattern. This
+module runs it backwards: given an observed corruption pattern and the
+operation's mapping (tiling plan, conv geometry), infer which MAC units
+could have produced it. The inversion follows directly from the same
+geometry:
+
+* **OS** — a single-element(-multi-tile) pattern pins both mesh
+  coordinates: the within-tile offset of the corrupted cells.
+* **WS** — a column pattern pins the mesh *column* only; every MAC in that
+  physical column is a candidate (the paper's position-independence cuts
+  both ways).
+* **IS** — a row pattern pins the mesh column through the transposed
+  mapping; again one column of candidates.
+* **Conv** — corrupted channels map back to the mesh column through the
+  channel = GEMM-column correspondence.
+
+Diagnosis is what turns the taxonomy into a maintenance tool: the BIST
+routine in :mod:`repro.mitigation.bist` runs a known workload, diffs
+against the analytic expectation, and calls :func:`diagnose` to locate the
+faulty unit — which the off-lining mitigation then avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classifier import PatternClass, classify_pattern
+from repro.core.fault_patterns import FaultPattern
+from repro.ops.tiling import TilingPlan
+from repro.systolic.array import MeshConfig
+from repro.systolic.dataflow import Dataflow
+
+__all__ = ["DiagnosisResult", "diagnose"]
+
+
+@dataclass(frozen=True)
+class DiagnosisResult:
+    """Candidate fault locations explaining an observed pattern.
+
+    Attributes
+    ----------
+    candidate_macs:
+        Mesh coordinates ``(row, col)`` that could have produced the
+        pattern, sorted. Empty when the pattern is masked (no information)
+        or inconsistent with any single-fault geometry.
+    pattern_class:
+        The class the observed pattern was assigned.
+    exact:
+        True when the candidates pin a single MAC.
+    """
+
+    candidate_macs: tuple[tuple[int, int], ...]
+    pattern_class: PatternClass
+    exact: bool
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.candidate_macs)
+
+    def contains(self, row: int, col: int) -> bool:
+        """Whether ``(row, col)`` is among the candidates."""
+        return (row, col) in self.candidate_macs
+
+
+def _local_cells(pattern: FaultPattern, plan: TilingPlan) -> set[tuple[int, int]]:
+    """Within-tile offsets of all corrupted cells."""
+    mask = pattern.gemm_mask()
+    rows, cols = np.where(mask)
+    return {
+        (int(r) % plan.tile_m, int(c) % plan.tile_n)
+        for r, c in zip(rows, cols)
+    }
+
+
+def diagnose(
+    pattern: FaultPattern,
+    mesh: MeshConfig,
+    plan: TilingPlan | None = None,
+) -> DiagnosisResult:
+    """Infer candidate faulty MACs from an observed corruption pattern.
+
+    Parameters
+    ----------
+    pattern:
+        The extracted fault pattern (GEMM or convolution output space).
+    mesh:
+        The physical mesh dimensions (bounds the candidate set).
+    plan:
+        The run's tiling plan; defaults to the plan the pattern carries.
+
+    Raises
+    ------
+    ValueError
+        If no tiling plan is available.
+    """
+    plan = plan or pattern.plan
+    if plan is None:
+        raise ValueError("diagnosis requires the operation's tiling plan")
+
+    classification = classify_pattern(pattern)
+    cls = classification.pattern_class
+
+    if cls is PatternClass.MASKED:
+        # No output corruption: any MAC (or none) could be faulty.
+        return DiagnosisResult(
+            candidate_macs=(), pattern_class=cls, exact=False
+        )
+    if cls is PatternClass.OTHER:
+        # Outside single-fault geometry.
+        return DiagnosisResult(candidate_macs=(), pattern_class=cls, exact=False)
+
+    # Candidate geometry follows the *dataflow's* mapping, not the
+    # structural class alone: a single corrupted cell on a one-row output
+    # is a SINGLE_ELEMENT structurally, but under WS any MAC of that
+    # column could have produced it.
+    locals_ = _local_cells(pattern, plan)
+
+    if plan.dataflow is Dataflow.OUTPUT_STATIONARY:
+        # OS geometry: the within-tile offset IS the MAC coordinate.
+        if len(locals_) == 1:
+            (coords,) = locals_
+            if coords[0] < mesh.rows and coords[1] < mesh.cols:
+                return DiagnosisResult(
+                    candidate_macs=(coords,), pattern_class=cls, exact=True
+                )
+        return DiagnosisResult(candidate_macs=(), pattern_class=cls, exact=False)
+
+    if plan.dataflow is Dataflow.WEIGHT_STATIONARY:
+        # WS geometry (incl. lowered conv): the local column offset pins
+        # the mesh column; any mesh row could host the fault.
+        local_cols = {c for _, c in locals_}
+        if len(local_cols) == 1:
+            (col,) = local_cols
+            if col < mesh.cols:
+                candidates = tuple((row, col) for row in range(mesh.rows))
+                return DiagnosisResult(
+                    candidate_macs=candidates,
+                    pattern_class=cls,
+                    exact=mesh.rows == 1,
+                )
+        return DiagnosisResult(candidate_macs=(), pattern_class=cls, exact=False)
+
+    if plan.dataflow is Dataflow.INPUT_STATIONARY:
+        # IS geometry: the local row offset pins the mesh column (the
+        # output-row dimension lies across mesh columns under IS).
+        local_rows = {r for r, _ in locals_}
+        if len(local_rows) == 1:
+            (row_offset,) = local_rows
+            if row_offset < mesh.cols:
+                candidates = tuple(
+                    (row, row_offset) for row in range(mesh.rows)
+                )
+                return DiagnosisResult(
+                    candidate_macs=candidates,
+                    pattern_class=cls,
+                    exact=mesh.rows == 1,
+                )
+        return DiagnosisResult(candidate_macs=(), pattern_class=cls, exact=False)
+
+    raise ValueError(f"unsupported dataflow: {plan.dataflow!r}")

@@ -1,0 +1,164 @@
+"""Fault-pattern extraction: diffing faulty output against ground truth.
+
+The paper extracts fault patterns "by contrasting the output of the systolic
+array with and without FI (ground truth), keeping all other configurations
+the same" (Section III-B). :func:`extract_pattern` is exactly that diff,
+packaged with the spatial metadata (tiling plan, convolution geometry) the
+classifier needs.
+
+A :class:`FaultPattern` is a value object: the boolean corruption mask plus
+deviation statistics. It supports both output spaces of the paper's
+figures — the 2-D GEMM output matrix and the 4-D ``(N, K, P, Q)``
+convolution output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ops.im2col import ConvGeometry
+from repro.ops.tiling import TilingPlan
+
+__all__ = ["FaultPattern", "extract_pattern"]
+
+
+@dataclass(frozen=True)
+class FaultPattern:
+    """The software-visible effect of one fault on one operation's output.
+
+    Attributes
+    ----------
+    mask:
+        Boolean array, True where the faulty output differs from golden.
+        Shape ``(M, N)`` for GEMM, ``(N, K, P, Q)`` for convolution.
+    deviation:
+        Signed difference ``faulty - golden`` (int64), same shape as mask.
+    plan:
+        The GEMM tiling plan of the run (present for both GEMM and conv —
+        conv diffs are taken over the lowered GEMM's reshaped output).
+    geometry:
+        Convolution geometry, or None for plain GEMM.
+    """
+
+    mask: np.ndarray
+    deviation: np.ndarray
+    plan: TilingPlan | None = None
+    geometry: ConvGeometry | None = None
+
+    def __post_init__(self) -> None:
+        if self.mask.shape != self.deviation.shape:
+            raise ValueError(
+                f"mask shape {self.mask.shape} != deviation shape "
+                f"{self.deviation.shape}"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def is_conv(self) -> bool:
+        """Whether this pattern lives in convolution output space."""
+        return self.geometry is not None
+
+    @property
+    def corrupted(self) -> bool:
+        """Whether any output element differs from golden (SDC occurred)."""
+        return bool(self.mask.any())
+
+    @property
+    def num_corrupted(self) -> int:
+        """Number of corrupted output elements."""
+        return int(self.mask.sum())
+
+    @property
+    def corruption_rate(self) -> float:
+        """Fraction of output elements corrupted."""
+        return self.num_corrupted / self.mask.size
+
+    @property
+    def max_abs_deviation(self) -> int:
+        """Largest absolute numeric deviation across the output."""
+        if not self.corrupted:
+            return 0
+        return int(np.abs(self.deviation).max())
+
+    # ------------------------------------------------------------------
+    # Spatial queries (GEMM space)
+    # ------------------------------------------------------------------
+    def gemm_mask(self) -> np.ndarray:
+        """The corruption mask in lowered-GEMM space ``(M, N)``.
+
+        For convolutions this reshapes ``(N, K, P, Q)`` back to
+        ``(N*P*Q, K)`` — the space in which the mesh computed the result
+        and in which the tiling plan is expressed.
+        """
+        if not self.is_conv:
+            return self.mask
+        g = self.geometry
+        assert g is not None
+        return self.mask.transpose(0, 2, 3, 1).reshape(g.gemm_m, g.k)
+
+    def corrupted_cells(self) -> list[tuple[int, int]]:
+        """Corrupted (row, col) coordinates in GEMM space."""
+        rows, cols = np.where(self.gemm_mask())
+        return [(int(r), int(c)) for r, c in zip(rows, cols)]
+
+    def corrupted_rows(self) -> tuple[int, ...]:
+        """Distinct corrupted GEMM output rows."""
+        return tuple(sorted({r for r, _ in self.corrupted_cells()}))
+
+    def corrupted_columns(self) -> tuple[int, ...]:
+        """Distinct corrupted GEMM output columns."""
+        return tuple(sorted({c for _, c in self.corrupted_cells()}))
+
+    # ------------------------------------------------------------------
+    # Spatial queries (conv space)
+    # ------------------------------------------------------------------
+    def corrupted_channels(self) -> tuple[int, ...]:
+        """Distinct corrupted output channels (conv patterns only)."""
+        if not self.is_conv:
+            raise ValueError("corrupted_channels is defined for conv patterns")
+        return tuple(
+            int(k) for k in sorted(set(np.where(self.mask.any(axis=(0, 2, 3)))[0]))
+        )
+
+    def channel_mask(self, channel: int) -> np.ndarray:
+        """The ``(N, P, Q)`` corruption mask of one output channel."""
+        if not self.is_conv:
+            raise ValueError("channel_mask is defined for conv patterns")
+        return self.mask[:, channel, :, :]
+
+
+def extract_pattern(
+    golden: np.ndarray,
+    faulty: np.ndarray,
+    plan: TilingPlan | None = None,
+    geometry: ConvGeometry | None = None,
+) -> FaultPattern:
+    """Diff a faulty output against the golden run (paper Section III-B).
+
+    Parameters
+    ----------
+    golden, faulty:
+        Outputs of the same operation without and with fault injection.
+    plan:
+        The tiling plan used by the run; required for multi-tile
+        classification.
+    geometry:
+        Convolution geometry when the outputs are ``(N, K, P, Q)`` tensors.
+    """
+    golden = np.asarray(golden)
+    faulty = np.asarray(faulty)
+    if golden.shape != faulty.shape:
+        raise ValueError(
+            f"golden shape {golden.shape} != faulty shape {faulty.shape}"
+        )
+    deviation = faulty.astype(np.int64) - golden.astype(np.int64)
+    return FaultPattern(
+        mask=deviation != 0,
+        deviation=deviation,
+        plan=plan,
+        geometry=geometry,
+    )

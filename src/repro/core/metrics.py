@@ -1,0 +1,141 @@
+"""Reliability metrics over FI campaigns.
+
+The paper's analysis is mostly qualitative (pattern classes); these metrics
+quantify the same observations so that the benches can report numbers:
+
+* SDC and masking rates per campaign;
+* corrupted-cell statistics — the quantitative form of RQ1's
+  "OS is more fault tolerant than WS" (a fault corrupts ~1 cell under OS
+  versus a whole column under WS);
+* pattern-overlap and coverage measures used by the SSF-vs-MSF study
+  (Section II-F cites that SSF tests detect ~98% of small MSF sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.campaign import CampaignResult, ExperimentResult
+from repro.core.classifier import PatternClass
+from repro.core.fault_patterns import FaultPattern
+
+__all__ = [
+    "class_census",
+    "sdc_rate",
+    "masking_rate",
+    "corrupted_cell_stats",
+    "CellStats",
+    "fault_tolerance_ranking",
+    "pattern_jaccard",
+    "support_covers",
+    "msf_coverage_by_ssf",
+]
+
+
+def class_census(
+    experiments: Iterable[ExperimentResult],
+) -> dict[PatternClass, int]:
+    """Count experiments per pattern class."""
+    counts: dict[PatternClass, int] = {}
+    for experiment in experiments:
+        cls = experiment.pattern_class
+        counts[cls] = counts.get(cls, 0) + 1
+    return counts
+
+
+def sdc_rate(experiments: Sequence[ExperimentResult]) -> float:
+    """Fraction of experiments with silent data corruption."""
+    if not experiments:
+        return 0.0
+    return sum(e.sdc for e in experiments) / len(experiments)
+
+
+def masking_rate(experiments: Sequence[ExperimentResult]) -> float:
+    """Fraction of experiments whose fault never reached the output."""
+    return 1.0 - sdc_rate(experiments)
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """Summary statistics of corrupted output cells per experiment."""
+
+    mean: float
+    maximum: int
+    minimum: int
+    total: int
+
+    @classmethod
+    def of(cls, experiments: Sequence[ExperimentResult]) -> "CellStats":
+        counts = [e.num_corrupted for e in experiments]
+        if not counts:
+            return cls(mean=0.0, maximum=0, minimum=0, total=0)
+        return cls(
+            mean=float(np.mean(counts)),
+            maximum=int(max(counts)),
+            minimum=int(min(counts)),
+            total=int(sum(counts)),
+        )
+
+
+def corrupted_cell_stats(experiments: Sequence[ExperimentResult]) -> CellStats:
+    """Corrupted-cell statistics over a campaign's experiments."""
+    return CellStats.of(experiments)
+
+
+def fault_tolerance_ranking(
+    campaigns: dict[str, CampaignResult],
+) -> list[tuple[str, float]]:
+    """Rank configurations from most to least fault tolerant.
+
+    Fault tolerance here is measured as the mean number of corrupted output
+    cells per injected fault — lower is better. RQ1's conclusion (also
+    Burel et al.'s) is that OS ranks above WS.
+    """
+    ranking = [
+        (name, result.mean_corrupted_cells()) for name, result in campaigns.items()
+    ]
+    return sorted(ranking, key=lambda item: item[1])
+
+
+# ----------------------------------------------------------------------
+# Pattern-overlap measures (SSF vs MSF study)
+# ----------------------------------------------------------------------
+def pattern_jaccard(first: FaultPattern, second: FaultPattern) -> float:
+    """Jaccard similarity of two corruption masks (1.0 = identical)."""
+    a = first.gemm_mask()
+    b = second.gemm_mask()
+    if a.shape != b.shape:
+        raise ValueError(f"mask shapes differ: {a.shape} vs {b.shape}")
+    union = np.logical_or(a, b).sum()
+    if union == 0:
+        return 1.0
+    return float(np.logical_and(a, b).sum() / union)
+
+
+def support_covers(cover: np.ndarray, pattern: FaultPattern) -> bool:
+    """Whether boolean mask ``cover`` contains every corrupted cell."""
+    mask = pattern.gemm_mask()
+    if cover.shape != mask.shape:
+        raise ValueError(f"mask shapes differ: {cover.shape} vs {mask.shape}")
+    return bool(np.all(cover | ~mask))
+
+
+def msf_coverage_by_ssf(
+    msf_pattern: FaultPattern, ssf_patterns: Sequence[FaultPattern]
+) -> bool:
+    """Whether the union of SSF patterns covers an MSF pattern's support.
+
+    The spatial analogue of the classic test-coverage claim the paper
+    invokes: a multi-stuck-at fault whose corruption footprint lies inside
+    the union of its constituent single-fault footprints is "explained" by
+    the SSF model.
+    """
+    if not ssf_patterns:
+        return not msf_pattern.corrupted
+    union = np.zeros_like(msf_pattern.gemm_mask(), dtype=bool)
+    for ssf in ssf_patterns:
+        union |= ssf.gemm_mask()
+    return support_covers(union, msf_pattern)

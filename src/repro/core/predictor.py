@@ -1,0 +1,187 @@
+"""Analytical fault-pattern prediction (the paper's determinism claim).
+
+Section IV's discussion states that fault patterns are *deterministic*:
+"given the hardware configurations (size of systolic array, data mapping
+scheme), type of operation and its properties ..., and the location of the
+stuck-at fault, we can predict the fault patterns, after taking into account
+the tiling effect and flattening of convolutions into GEMM."
+
+This module is that prediction, written down as code. Given a fault site
+and the operation's tiling plan (plus the convolution geometry when the op
+is a lowered convolution), it derives the *support* of the fault pattern —
+the set of output coordinates that can be corrupted — and the pattern class,
+without running any simulation:
+
+* **OS** — PE ``(r, c)`` owns local output element ``(r, c)`` of every
+  output tile, so the support is that element replicated across the tile
+  grid (``SINGLE_ELEMENT`` / ``SINGLE_ELEMENT_MULTI_TILE``).
+* **WS** — partial sums of physical column ``c`` pass through PE ``(r, c)``
+  for every output row, so the support is every output column mapped onto
+  mesh column ``c`` (``SINGLE_COLUMN`` / ``SINGLE_COLUMN_MULTI_TILE``);
+  the mesh *row* of the fault is irrelevant, which is the paper's
+  position-independence observation.
+* **Conv** — the lowered GEMM's column ``k`` is output channel ``k``
+  (Section II-B), so corrupted GEMM columns map to corrupted channels
+  (``SINGLE_CHANNEL`` / ``MULTI_CHANNEL``).
+
+The support is an over-approximation of any individual run's corruption:
+data-dependent masking (Challenge 2) can only shrink it. With the paper's
+uniform all-ones operands and a stuck value that disagrees with the golden
+signal, support and observed corruption coincide exactly — which is what
+the predictor-validation bench (experiment D2) demonstrates.
+
+:mod:`repro.appfi` uses this module to derive fault patterns on the fly for
+application-level FI — the integration the paper proposes for
+TensorFI/LLTFI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classifier import PatternClass, classify_mask
+from repro.faults.sites import FaultSite
+from repro.ops.im2col import ConvGeometry
+from repro.ops.tiling import TilingPlan
+from repro.systolic.dataflow import Dataflow
+
+__all__ = ["PredictedPattern", "predict_pattern", "predict_class"]
+
+
+@dataclass(frozen=True)
+class PredictedPattern:
+    """The analytically-derived fault pattern for one (site, operation).
+
+    Attributes
+    ----------
+    site:
+        The fault site the prediction is for.
+    support:
+        Boolean ``(M, N)`` mask over the GEMM output: True where corruption
+        is possible.
+    pattern_class:
+        The predicted taxonomy class (assuming no data masking).
+    channels:
+        Output channels covered by the support (convolutions only).
+    """
+
+    site: FaultSite
+    support: np.ndarray
+    pattern_class: PatternClass
+    channels: tuple[int, ...] = ()
+
+    @property
+    def num_cells(self) -> int:
+        """Number of output cells in the support."""
+        return int(self.support.sum())
+
+    def conv_support(self, geometry: ConvGeometry) -> np.ndarray:
+        """The support reshaped to convolution output space ``(N,K,P,Q)``."""
+        g = geometry
+        return (
+            self.support.reshape(g.n, g.p, g.q, g.k).transpose(0, 3, 1, 2).copy()
+        )
+
+
+def _os_support(site: FaultSite, plan: TilingPlan) -> np.ndarray:
+    """OS support: local element ``(r, c)`` replicated over output tiles."""
+    support = np.zeros((plan.m, plan.n), dtype=bool)
+    rows = plan.output_rows_for_mesh_row(site.row) if site.row < plan.tile_m else ()
+    cols = plan.output_cols_for_mesh_col(site.col) if site.col < plan.tile_n else ()
+    for row in rows:
+        for col in cols:
+            support[row, col] = True
+    return support
+
+
+def _ws_support(site: FaultSite, plan: TilingPlan) -> np.ndarray:
+    """WS support: every output column mapped to mesh column ``c``."""
+    support = np.zeros((plan.m, plan.n), dtype=bool)
+    cols = plan.output_cols_for_mesh_col(site.col) if site.col < plan.tile_n else ()
+    for col in cols:
+        support[:, col] = True
+    return support
+
+
+def _is_support(site: FaultSite, plan: TilingPlan) -> np.ndarray:
+    """IS support: every output *row* mapped to mesh column ``c``.
+
+    The input-stationary dataflow executes the transposed GEMM under WS,
+    so the WS column rule applies in transposed output space — a fault in
+    mesh column ``c`` corrupts output rows ``c``, ``c + tile_m``, ...
+    across their full width. The mesh row is irrelevant, exactly as for WS.
+    """
+    support = np.zeros((plan.m, plan.n), dtype=bool)
+    rows = plan.output_rows_for_mesh_col(site.col) if site.col < plan.tile_m else ()
+    for row in rows:
+        support[row, :] = True
+    return support
+
+
+def predict_pattern(
+    site: FaultSite,
+    plan: TilingPlan,
+    geometry: ConvGeometry | None = None,
+) -> PredictedPattern:
+    """Predict the fault pattern for ``site`` under the plan's dataflow.
+
+    Parameters
+    ----------
+    site:
+        The faulty MAC's coordinates (signal and bit do not change the
+        spatial support — only whether/where masking occurs numerically).
+    plan:
+        The operation's tiling plan, which fixes dataflow, dimensions and
+        tile grid.
+    geometry:
+        Present when the operation is a lowered convolution; switches the
+        classification into channel space.
+
+    Raises
+    ------
+    ValueError
+        If the site lies outside the mesh implied by the plan's tile sizes
+        is not checked here — sites are validated at construction — but an
+        unsupported dataflow raises.
+    """
+    if plan.dataflow is Dataflow.OUTPUT_STATIONARY:
+        support = _os_support(site, plan)
+    elif plan.dataflow is Dataflow.WEIGHT_STATIONARY:
+        support = _ws_support(site, plan)
+    elif plan.dataflow is Dataflow.INPUT_STATIONARY:
+        support = _is_support(site, plan)
+    else:
+        raise ValueError(f"unsupported dataflow: {plan.dataflow!r}")
+
+    rows, cols = np.where(support)
+    num = rows.size
+
+    if geometry is not None:
+        channels = tuple(sorted({int(c) for c in cols}))
+        if num == 0:
+            cls = PatternClass.MASKED
+        elif len(channels) == 1:
+            cls = PatternClass.SINGLE_CHANNEL
+        else:
+            cls = PatternClass.MULTI_CHANNEL
+        return PredictedPattern(
+            site=site, support=support, pattern_class=cls, channels=channels
+        )
+
+    # Classify the support through the SAME structural rules the observed
+    # patterns go through: this makes prediction and classification agree
+    # by construction, including on degenerate shapes (one-row outputs,
+    # where a full column and a single element are the same cell set).
+    cls = classify_mask(support, plan).pattern_class
+    return PredictedPattern(site=site, support=support, pattern_class=cls)
+
+
+def predict_class(
+    site: FaultSite,
+    plan: TilingPlan,
+    geometry: ConvGeometry | None = None,
+) -> PatternClass:
+    """Shortcut returning only the predicted :class:`PatternClass`."""
+    return predict_pattern(site, plan, geometry=geometry).pattern_class

@@ -1,0 +1,181 @@
+"""FIT-rate reliability budgeting (the paper's ISO 26262 motivation).
+
+The introduction frames the study with functional safety: "for Automotive
+Safety Integrity Level D (ASIL-D), there should be no more than 10
+hardware faults ... in a billion hours of operation" — i.e. a 10 FIT
+budget. This module connects that budget to the repo's vulnerability
+analysis:
+
+* a mesh of ``M`` MACs with per-MAC permanent-fault rate ``f`` FIT
+  accumulates faults at ``M*f`` FIT;
+* only the architecturally *live* fraction of MACs (from
+  :func:`repro.core.vulnerability.analyze_operation`) produces silent data
+  corruption for a given workload — the rest are safe by mapping;
+* mitigation coverage (ABFT, BIST + off-lining, ...) further scales the
+  dangerous fraction, exactly as ISO 26262's diagnostic-coverage factor
+  does.
+
+So the *effective dangerous FIT* of a deployment is::
+
+    FIT_dangerous = M * f * architectural_sdc_rate * (1 - coverage)
+
+and the admissible per-MAC fault rate for a budget follows by inversion.
+Exponential arrival math (MTTF, failure probability over a mission) uses
+the standard constant-rate model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.vulnerability import VulnerabilityProfile
+
+__all__ = [
+    "HOURS_PER_BILLION",
+    "ASIL_D_FIT_BUDGET",
+    "ReliabilityBudget",
+    "dangerous_fit",
+    "max_per_mac_fit",
+    "mission_failure_probability",
+    "mttf_hours",
+]
+
+#: FIT is failures per 10^9 device-hours.
+HOURS_PER_BILLION = 1e9
+
+#: The ASIL-D budget the paper quotes (<= 10 faults per 10^9 h).
+ASIL_D_FIT_BUDGET = 10.0
+
+
+def dangerous_fit(
+    num_macs: int,
+    per_mac_fit: float,
+    architectural_sdc_rate: float = 1.0,
+    mitigation_coverage: float = 0.0,
+) -> float:
+    """Effective SDC-causing FIT of a mesh running a given workload.
+
+    Parameters
+    ----------
+    num_macs:
+        MAC units in the array (the paper's 16x16 -> 256; TPUv1 -> 65536).
+    per_mac_fit:
+        Permanent-fault rate of one MAC, in FIT.
+    architectural_sdc_rate:
+        Fraction of MAC faults that reach the output for the workload
+        (:attr:`VulnerabilityProfile.architectural_sdc_rate`); 1.0 is the
+        conservative worst case.
+    mitigation_coverage:
+        Fraction of manifesting faults that a mitigation detects or
+        corrects before they become silent corruption (ISO 26262's
+        diagnostic coverage).
+    """
+    if num_macs <= 0:
+        raise ValueError(f"num_macs must be positive, got {num_macs}")
+    if per_mac_fit < 0:
+        raise ValueError(f"per_mac_fit must be >= 0, got {per_mac_fit}")
+    if not 0.0 <= architectural_sdc_rate <= 1.0:
+        raise ValueError(
+            f"architectural_sdc_rate must be in [0, 1], got "
+            f"{architectural_sdc_rate}"
+        )
+    if not 0.0 <= mitigation_coverage <= 1.0:
+        raise ValueError(
+            f"mitigation_coverage must be in [0, 1], got {mitigation_coverage}"
+        )
+    return (
+        num_macs
+        * per_mac_fit
+        * architectural_sdc_rate
+        * (1.0 - mitigation_coverage)
+    )
+
+
+def max_per_mac_fit(
+    num_macs: int,
+    budget_fit: float = ASIL_D_FIT_BUDGET,
+    architectural_sdc_rate: float = 1.0,
+    mitigation_coverage: float = 0.0,
+) -> float:
+    """Largest per-MAC FIT that keeps the deployment within budget.
+
+    Returns ``inf`` when the dangerous fraction is zero (fully masked or
+    fully covered workloads have no silent-corruption path).
+    """
+    if budget_fit < 0:
+        raise ValueError(f"budget_fit must be >= 0, got {budget_fit}")
+    dangerous_fraction = architectural_sdc_rate * (1.0 - mitigation_coverage)
+    if dangerous_fraction == 0.0:
+        return math.inf
+    return budget_fit / (num_macs * dangerous_fraction)
+
+
+def mttf_hours(total_fit: float) -> float:
+    """Mean time to failure of a constant-rate process, in hours."""
+    if total_fit < 0:
+        raise ValueError(f"total_fit must be >= 0, got {total_fit}")
+    if total_fit == 0:
+        return math.inf
+    return HOURS_PER_BILLION / total_fit
+
+
+def mission_failure_probability(total_fit: float, mission_hours: float) -> float:
+    """Probability of at least one failure during a mission.
+
+    Exponential arrivals: ``1 - exp(-rate * t)`` with
+    ``rate = total_fit / 1e9`` per hour.
+    """
+    if mission_hours < 0:
+        raise ValueError(f"mission_hours must be >= 0, got {mission_hours}")
+    if total_fit < 0:
+        raise ValueError(f"total_fit must be >= 0, got {total_fit}")
+    rate = total_fit / HOURS_PER_BILLION
+    return 1.0 - math.exp(-rate * mission_hours)
+
+
+@dataclass(frozen=True)
+class ReliabilityBudget:
+    """A deployment's safety arithmetic, bundled for reporting.
+
+    Combines the mesh size, the per-MAC fault rate, a workload's
+    vulnerability profile, and a mitigation's coverage into the numbers a
+    safety case needs.
+    """
+
+    num_macs: int
+    per_mac_fit: float
+    profile: VulnerabilityProfile
+    mitigation_coverage: float = 0.0
+    budget_fit: float = ASIL_D_FIT_BUDGET
+
+    @property
+    def raw_fit(self) -> float:
+        """Total permanent-fault FIT of the mesh, before masking."""
+        return self.num_macs * self.per_mac_fit
+
+    @property
+    def dangerous_fit(self) -> float:
+        """SDC-causing FIT after architectural masking and mitigation."""
+        return dangerous_fit(
+            self.num_macs,
+            self.per_mac_fit,
+            self.profile.architectural_sdc_rate,
+            self.mitigation_coverage,
+        )
+
+    @property
+    def meets_budget(self) -> bool:
+        """Whether the deployment satisfies the FIT budget."""
+        return self.dangerous_fit <= self.budget_fit
+
+    @property
+    def headroom(self) -> float:
+        """Budget / dangerous FIT (>= 1 means compliant)."""
+        if self.dangerous_fit == 0:
+            return math.inf
+        return self.budget_fit / self.dangerous_fit
+
+    def mttf(self) -> float:
+        """Mean hours to the first dangerous fault."""
+        return mttf_hours(self.dangerous_fit)

@@ -1,0 +1,94 @@
+"""Textual report generation for campaigns and benches.
+
+The benchmark harness prints paper-style tables and figure summaries;
+this module holds the shared formatting: aligned ASCII tables, markdown
+tables, and per-campaign summaries. Keeping it in the library (rather
+than in the benches) lets the examples produce the same artefacts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.campaign import CampaignResult
+from repro.core.classifier import PatternClass
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "campaign_summary",
+    "census_rows",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], indent: str = ""
+) -> str:
+    """Render an aligned, boxless ASCII table.
+
+    All cells are stringified; columns are left-aligned and padded to the
+    widest cell. Suitable for printing from benches and examples.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        indent + "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        indent + "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append(
+            indent + "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def census_rows(result: CampaignResult) -> list[tuple[str, int, str]]:
+    """(class, count, share) rows of a campaign's pattern-class census."""
+    census = result.census()
+    total = sum(census.values()) or 1
+    rows = []
+    for cls in PatternClass:
+        count = census.get(cls, 0)
+        if count:
+            rows.append((str(cls), count, f"{100.0 * count / total:.1f}%"))
+    return rows
+
+
+def campaign_summary(result: CampaignResult, name: str | None = None) -> str:
+    """A multi-line human-readable summary of one campaign."""
+    title = name or result.workload.describe()
+    lines = [
+        f"campaign: {title}",
+        f"  fault model : {result.fault_spec.describe()}",
+        f"  mesh        : {result.mesh.rows}x{result.mesh.cols} "
+        f"({result.mesh.input_dtype})",
+        f"  experiments : {len(result.experiments)}",
+        f"  SDC rate    : {100.0 * result.sdc_rate():.1f}%",
+        f"  mean corrupted cells: {result.mean_corrupted_cells():.2f}",
+        f"  dominant class      : {result.dominant_class()}",
+        f"  single-class        : {result.is_single_class()}",
+        "  census:",
+    ]
+    for cls, count, share in census_rows(result):
+        lines.append(f"    {cls:<28} {count:>6}  {share}")
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""FI state-space modelling and sampling (paper Challenge 1).
+
+The paper observes that the full FI state space is enormous — "even a
+single systolic array of size 16x16, two data mapping schemes and two
+operation types and configurations, results in a state space with 131K
+different FI configurations" — and addresses it by sampling: fixing most
+parameters (Table I) and exhaustively sweeping the MAC position.
+
+This module reifies that reasoning:
+
+* :class:`StateSpace` — the cartesian parameter grid and its cardinality
+  (reproducing the 131K estimate is experiment T1's sanity row);
+* site-selection strategies — exhaustive (the paper's choice), uniform
+  random, diagonal (exploiting the paper's position-independence symmetry
+  to cut experiments), and corners+centre spot checks;
+* :func:`paper_configurations` — the exact Table I configuration grid as
+  ready-to-run workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.campaign import ConvWorkload, FillKind, GemmWorkload
+from repro.faults.sites import PAPER_FAULT_SIGNAL, signal_dtype
+from repro.systolic.array import MeshConfig
+from repro.systolic.dataflow import Dataflow
+
+__all__ = [
+    "StateSpace",
+    "paper_state_space",
+    "all_sites",
+    "random_sites",
+    "diagonal_sites",
+    "corner_sites",
+    "paper_configurations",
+]
+
+
+@dataclass(frozen=True)
+class StateSpace:
+    """The cartesian FI configuration space of a study.
+
+    Cardinality = MAC positions x signal bits x stuck polarities x
+    dataflows x operation types x operation configurations. The paper's
+    conservative estimate fixes one signal (the adder output) and counts
+    two operation configurations.
+    """
+
+    mesh: MeshConfig
+    signals: tuple[str, ...] = (PAPER_FAULT_SIGNAL,)
+    stuck_values: tuple[int, ...] = (0, 1)
+    dataflows: tuple[Dataflow, ...] = (
+        Dataflow.OUTPUT_STATIONARY,
+        Dataflow.WEIGHT_STATIONARY,
+    )
+    num_operation_types: int = 2
+    num_operation_configs: int = 2
+
+    @property
+    def sites_per_mac(self) -> int:
+        """Injectable bits per MAC across the selected signals."""
+        return sum(signal_dtype(signal).width for signal in self.signals)
+
+    @property
+    def num_fault_sites(self) -> int:
+        """Distinct (MAC, signal, bit) sites on the mesh."""
+        return self.mesh.num_macs * self.sites_per_mac
+
+    @property
+    def total_configurations(self) -> int:
+        """Full campaign cardinality (the paper's 131K for its settings)."""
+        return (
+            self.num_fault_sites
+            * len(self.stuck_values)
+            * len(self.dataflows)
+            * self.num_operation_types
+            * self.num_operation_configs
+        )
+
+
+def paper_state_space() -> StateSpace:
+    """The state space behind the paper's '131K configurations' estimate."""
+    return StateSpace(mesh=MeshConfig.paper())
+
+
+# ----------------------------------------------------------------------
+# Site-selection strategies
+# ----------------------------------------------------------------------
+def all_sites(mesh: MeshConfig) -> list[tuple[int, int]]:
+    """Exhaustive MAC sweep — the paper's strategy (256 experiments)."""
+    return [(r, c) for r in range(mesh.rows) for c in range(mesh.cols)]
+
+
+def random_sites(
+    mesh: MeshConfig, count: int, seed: int = 0
+) -> list[tuple[int, int]]:
+    """Uniform random MAC sample without replacement."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    count = min(count, mesh.num_macs)
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(mesh.num_macs, size=count, replace=False)
+    return [(int(i) // mesh.cols, int(i) % mesh.cols) for i in chosen]
+
+
+def diagonal_sites(mesh: MeshConfig) -> list[tuple[int, int]]:
+    """One MAC per diagonal position.
+
+    The paper's symmetry observation — the pattern class is the same for
+    every MAC position — means a diagonal sweep (``min(rows, cols)``
+    experiments instead of ``rows*cols``) already witnesses every row and
+    column index once. The class-census bench uses this to show the
+    reduced campaign reaches the same conclusion as the exhaustive one.
+    """
+    return [(i, i) for i in range(min(mesh.rows, mesh.cols))]
+
+
+def corner_sites(mesh: MeshConfig) -> list[tuple[int, int]]:
+    """The four mesh corners plus the centre — a five-point spot check."""
+    last_row, last_col = mesh.rows - 1, mesh.cols - 1
+    sites = {
+        (0, 0),
+        (0, last_col),
+        (last_row, 0),
+        (last_row, last_col),
+        (mesh.rows // 2, mesh.cols // 2),
+    }
+    return sorted(sites)
+
+
+# ----------------------------------------------------------------------
+# Table I — the paper's configuration grid
+# ----------------------------------------------------------------------
+def paper_configurations(
+    fill: FillKind = FillKind.ONES,
+) -> dict[str, list[GemmWorkload | ConvWorkload]]:
+    """The exact workload grid of Table I, keyed by research question.
+
+    * RQ1 — GEMM 16x16, OS vs WS;
+    * RQ2 — WS: GEMM 16x16 vs convolutions with kernels 3x3x3x3 and
+      3x3x3x8 on a 16x16 input;
+    * RQ3 — WS: GEMM 16x16 vs 112x112, and the convolutions at input
+      sizes 16 and 112.
+    """
+    ws = Dataflow.WEIGHT_STATIONARY
+    os_ = Dataflow.OUTPUT_STATIONARY
+    return {
+        "RQ1": [
+            GemmWorkload.square(16, os_, fill=fill),
+            GemmWorkload.square(16, ws, fill=fill),
+        ],
+        "RQ2": [
+            GemmWorkload.square(16, ws, fill=fill),
+            ConvWorkload.paper_kernel(16, (3, 3, 3, 3), dataflow=ws, fill=fill),
+            ConvWorkload.paper_kernel(16, (3, 3, 3, 8), dataflow=ws, fill=fill),
+        ],
+        "RQ3": [
+            GemmWorkload.square(16, ws, fill=fill),
+            GemmWorkload.square(112, ws, fill=fill),
+            GemmWorkload.square(16, os_, fill=fill),
+            GemmWorkload.square(112, os_, fill=fill),
+            ConvWorkload.paper_kernel(16, (3, 3, 3, 8), dataflow=ws, fill=fill),
+            ConvWorkload.paper_kernel(112, (3, 3, 3, 8), dataflow=ws, fill=fill),
+        ],
+    }

@@ -1,0 +1,148 @@
+"""JSON serialisation of campaigns and fault dictionaries.
+
+Two consumers motivate this module:
+
+* **Archival** — FI campaigns are expensive at scale; results should be
+  storable and reloadable without re-running (``campaign_to_dict`` /
+  ``save_campaign`` / ``load_campaign``).
+* **Tool hand-off** — the paper's end goal is feeding systolic-array fault
+  models to application-level injectors (TensorFI / LLTFI). A *fault
+  dictionary* (``fault_dictionary``) is that hand-off artefact: one entry
+  per fault site with its pattern class and corruption support, in a plain
+  JSON schema any tool can parse.
+
+Patterns are stored as coordinate lists (sparse) because SSF corruption is
+sparse in exactly the structured way the taxonomy describes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.campaign import CampaignResult
+from repro.core.classifier import PatternClass
+
+__all__ = [
+    "campaign_to_dict",
+    "save_campaign",
+    "load_campaign",
+    "fault_dictionary",
+    "save_fault_dictionary",
+]
+
+#: Schema version written into every artefact.
+SCHEMA_VERSION = 1
+
+
+def campaign_to_dict(result: CampaignResult) -> dict[str, Any]:
+    """Serialise a campaign result to JSON-compatible primitives.
+
+    The golden output itself is summarised (shape only) — experiments carry
+    the corruption coordinates, which is all the pattern machinery needs.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "workload": result.workload.describe(),
+        "operation": str(result.workload.operation),
+        "fault_spec": {
+            "signal": result.fault_spec.signal,
+            "bit": result.fault_spec.bit,
+            "stuck_value": result.fault_spec.stuck_value,
+        },
+        "mesh": {"rows": result.mesh.rows, "cols": result.mesh.cols},
+        "dataflow": str(result.plan.dataflow),
+        "gemm_shape": [result.plan.m, result.plan.k, result.plan.n],
+        "tile_shape": [result.plan.tile_m, result.plan.tile_k, result.plan.tile_n],
+        "output_shape": list(result.golden.shape),
+        "wall_seconds": result.wall_seconds,
+        "experiments": [
+            {
+                "site": {
+                    "row": e.site.row,
+                    "col": e.site.col,
+                    "signal": e.site.signal,
+                    "bit": e.site.bit,
+                },
+                "pattern_class": e.pattern_class.value,
+                "num_corrupted": e.num_corrupted,
+                "max_abs_deviation": e.max_abs_deviation,
+                # Lists, not tuples: the artefact should round-trip through
+                # JSON unchanged.
+                "corrupted_cells": (
+                    [list(cell) for cell in e.pattern.corrupted_cells()]
+                    if e.pattern is not None
+                    else None
+                ),
+            }
+            for e in result.experiments
+        ],
+    }
+
+
+def save_campaign(result: CampaignResult, path: str | Path) -> Path:
+    """Write a campaign result as JSON; returns the written path."""
+    path = Path(path)
+    path.write_text(json.dumps(campaign_to_dict(result), indent=2))
+    return path
+
+
+def load_campaign(path: str | Path) -> dict[str, Any]:
+    """Load a previously saved campaign artefact (as plain dicts).
+
+    Raises
+    ------
+    ValueError
+        If the artefact's schema version is unknown.
+    """
+    data = json.loads(Path(path).read_text())
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported campaign schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return data
+
+
+def fault_dictionary(result: CampaignResult) -> dict[str, Any]:
+    """Build an LLTFI-style fault dictionary from a campaign.
+
+    One entry per fault site, keyed ``"row,col"``, carrying the pattern
+    class and — for GEMM outputs — the corrupted coordinates. Downstream
+    injectors replay an entry by perturbing exactly those coordinates of
+    the operation's output tensor.
+    """
+    entries: dict[str, Any] = {}
+    for experiment in result.experiments:
+        key = f"{experiment.site.row},{experiment.site.col}"
+        entry: dict[str, Any] = {
+            "pattern_class": experiment.pattern_class.value,
+            "num_corrupted": experiment.num_corrupted,
+        }
+        if experiment.pattern is not None:
+            entry["cells"] = [
+                list(cell) for cell in experiment.pattern.corrupted_cells()
+            ]
+            if experiment.pattern.is_conv:
+                entry["channels"] = list(experiment.pattern.corrupted_channels())
+        entries[key] = entry
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "hardware": {
+            "mesh_rows": result.mesh.rows,
+            "mesh_cols": result.mesh.cols,
+            "dataflow": str(result.plan.dataflow),
+        },
+        "operation": result.workload.describe(),
+        "fault_model": result.fault_spec.describe(),
+        "sites": entries,
+    }
+
+
+def save_fault_dictionary(result: CampaignResult, path: str | Path) -> Path:
+    """Write the fault dictionary as JSON; returns the written path."""
+    path = Path(path)
+    path.write_text(json.dumps(fault_dictionary(result), indent=2))
+    return path

@@ -1,0 +1,60 @@
+"""Fault models, fault sites, and the fault-injection overlay.
+
+This package implements the paper's fault model (Section II-E): single
+stuck-at faults in the MAC-unit datapath, plus the transient and multi-fault
+extensions used by the comparison benches.
+
+Public API
+----------
+:class:`~repro.faults.sites.FaultSite`
+    One bit of one named signal of one MAC unit.
+:class:`~repro.faults.model.StuckAtFault`
+    Permanent stuck-at-0/1 fault (the paper's model).
+:class:`~repro.faults.model.TransientBitFlip`
+    Windowed bit-flip (Rech et al.'s transient model).
+:class:`~repro.faults.model.FaultSet`
+    Several simultaneous faults (Zhang et al.'s MSF model).
+:class:`~repro.faults.injector.FaultInjector`
+    Indexes a fault set for the simulation engines.
+"""
+
+from repro.faults.injector import NO_FAULTS, FaultInjector
+from repro.faults.model import (
+    BridgingFault,
+    FaultDescriptor,
+    FaultSet,
+    StuckAtFault,
+    TransientBitFlip,
+)
+from repro.faults.sites import (
+    MAC_SIGNALS,
+    PAPER_FAULT_SIGNAL,
+    SIGNAL_A_REG,
+    SIGNAL_B_REG,
+    SIGNAL_PRODUCT,
+    SIGNAL_SUM,
+    FaultSite,
+    enumerate_mac_sites,
+    enumerate_sites,
+    signal_dtype,
+)
+
+__all__ = [
+    "FaultSite",
+    "FaultDescriptor",
+    "StuckAtFault",
+    "TransientBitFlip",
+    "BridgingFault",
+    "FaultSet",
+    "FaultInjector",
+    "NO_FAULTS",
+    "MAC_SIGNALS",
+    "PAPER_FAULT_SIGNAL",
+    "SIGNAL_A_REG",
+    "SIGNAL_B_REG",
+    "SIGNAL_PRODUCT",
+    "SIGNAL_SUM",
+    "enumerate_sites",
+    "enumerate_mac_sites",
+    "signal_dtype",
+]

@@ -1,0 +1,101 @@
+"""Fault overlay used by the simulation engines.
+
+:class:`FaultInjector` indexes a :class:`~repro.faults.model.FaultSet` by
+(row, col, signal) so that the per-cycle hot path of the cycle simulator is a
+single dict lookup. It mirrors the paper's FI harness (Fig. 2): the RTL is
+instrumented so that a selected intermediate signal is forced, while the rest
+of the design is untouched.
+
+The injector is deliberately engine-agnostic: both the cycle-level mesh
+(:mod:`repro.systolic.simulator`) and the vectorised functional engine
+(:mod:`repro.systolic.functional`) consume the same object, which is what
+makes their cross-validation meaningful.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.faults.model import FaultDescriptor, FaultSet, StuckAtFault
+from repro.faults.sites import FaultSite, signal_dtype
+
+__all__ = ["FaultInjector", "NO_FAULTS"]
+
+
+class FaultInjector:
+    """Applies a set of faults to named MAC signals during simulation.
+
+    Parameters
+    ----------
+    faults:
+        The faults to overlay. An empty set yields a golden (fault-free) run;
+        :data:`NO_FAULTS` is a shared empty injector for that case.
+    """
+
+    def __init__(self, faults: FaultSet | Iterable[FaultDescriptor] = ()) -> None:
+        if not isinstance(faults, FaultSet):
+            faults = FaultSet.from_iterable(faults)
+        self._faults = faults
+        index: dict[tuple[int, int, str], list[FaultDescriptor]] = defaultdict(list)
+        for fault in faults:
+            site = fault.site
+            index[(site.row, site.col, site.signal)].append(fault)
+        # Freeze into plain tuples for cheap, immutable lookups.
+        self._index: dict[tuple[int, int, str], tuple[FaultDescriptor, ...]] = {
+            key: tuple(descs) for key, descs in index.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_stuck_at(
+        cls, site: FaultSite, stuck_value: int = 1
+    ) -> "FaultInjector":
+        """The paper's SSF configuration: one stuck-at fault at ``site``."""
+        return cls(FaultSet.of(StuckAtFault(site=site, stuck_value=stuck_value)))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def fault_set(self) -> FaultSet:
+        """The underlying fault set."""
+        return self._faults
+
+    @property
+    def is_golden(self) -> bool:
+        """True when no faults are configured (reference run)."""
+        return not self._faults
+
+    def faults_at(
+        self, row: int, col: int, signal: str
+    ) -> tuple[FaultDescriptor, ...]:
+        """All faults registered on ``signal`` of MAC ``(row, col)``."""
+        return self._index.get((row, col, signal), ())
+
+    def touches_mac(self, row: int, col: int) -> bool:
+        """Whether any fault targets MAC ``(row, col)`` on any signal."""
+        return any(key[0] == row and key[1] == col for key in self._index)
+
+    # ------------------------------------------------------------------
+    # The hot path
+    # ------------------------------------------------------------------
+    def perturb(self, row: int, col: int, signal: str, value: int, cycle: int) -> int:
+        """Return the (possibly perturbed) value of a driven signal.
+
+        Called by the MAC model every time ``signal`` is driven. With no
+        fault registered at this location this is one dict miss.
+        """
+        faults = self._index.get((row, col, signal))
+        if not faults:
+            return value
+        dtype = signal_dtype(signal)
+        for fault in faults:
+            value = fault.apply(value, dtype, cycle)
+        return value
+
+
+#: Shared golden injector (no faults).
+NO_FAULTS = FaultInjector()

@@ -1,0 +1,53 @@
+"""A functional model of the Gemmini accelerator stack (paper Fig. 2).
+
+The paper's FI platform is the Gemmini generator: systolic mesh plus
+controller, scratchpad, accumulator SRAM and a host interface. This package
+models that stack functionally so experiments and examples can exercise the
+same software-visible command path as the paper's campaigns.
+
+Public API
+----------
+:class:`~repro.gemmini.accelerator.GemminiAccelerator`
+    The end-to-end accelerator (host memory -> DMA -> mesh -> results).
+:mod:`~repro.gemmini.isa`
+    The command set interpreted by the controller.
+"""
+
+from repro.gemmini.accelerator import AcceleratorStats, GemminiAccelerator
+from repro.gemmini.performance import PerformanceEstimate, PerformanceModel
+from repro.gemmini.accumulator import AccumulatorMemory
+from repro.gemmini.controller import Controller, ControllerStats
+from repro.gemmini.dma import DmaEngine, HostArray, HostMemory
+from repro.gemmini.isa import (
+    Command,
+    Compute,
+    ConfigEx,
+    Fence,
+    Mvin,
+    MvinAcc,
+    MvoutAcc,
+    Preload,
+)
+from repro.gemmini.scratchpad import Scratchpad
+
+__all__ = [
+    "GemminiAccelerator",
+    "AcceleratorStats",
+    "PerformanceModel",
+    "PerformanceEstimate",
+    "Controller",
+    "ControllerStats",
+    "Scratchpad",
+    "AccumulatorMemory",
+    "DmaEngine",
+    "HostMemory",
+    "HostArray",
+    "Command",
+    "ConfigEx",
+    "Mvin",
+    "MvinAcc",
+    "MvoutAcc",
+    "Preload",
+    "Compute",
+    "Fence",
+]

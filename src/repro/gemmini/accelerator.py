@@ -1,0 +1,298 @@
+"""The full accelerator stack: host memory, runtime, controller, mesh.
+
+:class:`GemminiAccelerator` is this repo's analogue of the paper's platform
+(Fig. 2): a Gemmini-like DNN accelerator whose software runtime lowers
+matmuls and convolutions into command streams (MVIN / PRELOAD / COMPUTE /
+MVOUT), executed by the controller against a fault-injectable systolic
+mesh. It is the end-to-end path used by the examples and the accelerator-
+equivalence tests.
+
+Reduction-dimension accumulation happens in the accumulator SRAM
+(accumulate-on-write), matching Gemmini; this equals
+``TiledGemm(reduction="memory")`` bit for bit, faults included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.injector import NO_FAULTS, FaultInjector
+from repro.gemmini.accumulator import AccumulatorMemory
+from repro.gemmini.controller import Controller, ControllerStats
+from repro.gemmini.dma import DmaEngine, HostArray, HostMemory
+from repro.gemmini.isa import (
+    Command,
+    Compute,
+    ConfigEx,
+    Fence,
+    Mvin,
+    MvinAcc,
+    MvoutAcc,
+    Preload,
+)
+from repro.gemmini.scratchpad import Scratchpad
+from repro.ops.im2col import ConvGeometry, col2im_output, im2col, kernel_to_matrix
+from repro.ops.tiling import TilingPlan, plan_gemm_tiling
+from repro.systolic.array import MeshConfig
+from repro.systolic.dataflow import Dataflow
+from repro.systolic.functional import FunctionalSimulator
+from repro.systolic.simulator import CycleSimulator
+
+__all__ = ["AcceleratorStats", "GemminiAccelerator"]
+
+
+@dataclass(frozen=True)
+class AcceleratorStats:
+    """Utilisation report of one accelerator instance."""
+
+    controller: ControllerStats
+    mesh_cycles: int
+    tiles_executed: int
+    dma_bytes_in: int
+    dma_bytes_out: int
+    scratchpad_reads: int
+    scratchpad_writes: int
+    accumulator_reads: int
+    accumulator_writes: int
+
+
+class GemminiAccelerator:
+    """A functional, fault-injectable DNN accelerator.
+
+    Parameters
+    ----------
+    mesh:
+        Systolic mesh configuration (the paper's is 16x16 INT8).
+    injector:
+        Fault overlay for the mesh datapath (memories are fault-free per
+        the paper's ECC assumption).
+    engine:
+        ``"functional"`` (default) or ``"cycle"`` for the RTL-equivalent
+        mesh model.
+    scratchpad_rows / accumulator_rows:
+        Local memory capacities; defaults comfortably fit the paper's
+        workloads and trigger honest capacity errors on oversized tiles.
+    """
+
+    def __init__(
+        self,
+        mesh: MeshConfig,
+        injector: FaultInjector = NO_FAULTS,
+        engine: str = "functional",
+        scratchpad_rows: int = 4096,
+        accumulator_rows: int = 4096,
+        host_capacity: int = 1 << 22,
+    ) -> None:
+        self.mesh = mesh
+        self.injector = injector
+        row_elems = max(mesh.rows, mesh.cols)
+        if engine == "cycle":
+            self.engine = CycleSimulator(mesh, injector=injector)
+        elif engine == "functional":
+            self.engine = FunctionalSimulator(mesh, injector=injector)
+        else:
+            raise ValueError(f"engine must be 'functional' or 'cycle', got {engine!r}")
+        self.host = HostMemory(capacity_elems=host_capacity)
+        self.scratchpad = Scratchpad(
+            banks=4,
+            rows_per_bank=scratchpad_rows // 4 or 1,
+            row_elems=row_elems,
+            dtype=mesh.input_dtype,
+        )
+        self.accumulator = AccumulatorMemory(
+            rows=accumulator_rows, row_elems=row_elems, dtype=mesh.acc_dtype
+        )
+        self.dma = DmaEngine(self.host, self.scratchpad, self.accumulator)
+        self.controller = Controller(
+            self.engine, self.scratchpad, self.accumulator, self.dma
+        )
+
+    # ------------------------------------------------------------------
+    # Command generation (the software runtime's tiling loops)
+    # ------------------------------------------------------------------
+    def _gemm_commands(
+        self,
+        a_host: HostArray,
+        b_host: HostArray,
+        c_host: HostArray,
+        plan: TilingPlan,
+        bias_host: HostArray | None = None,
+    ) -> list[Command]:
+        """Lower a tiled GEMM into a command stream.
+
+        Scratchpad layout per tile iteration: operand A occupies rows
+        ``[0, tile_m)``, operand B rows ``[tile_m, tile_m + tile_k)``.
+        Each output tile reuses accumulator rows ``[0, tile_m)`` and is
+        drained to host before the next output tile starts.
+        """
+        commands: list[Command] = [ConfigEx(dataflow=plan.dataflow)]
+        a_region = 0
+        b_region = plan.tile_m
+        acc_region = 0
+        for m_range, n_range in plan.output_tiles():
+            if bias_host is not None:
+                commands.append(
+                    MvinAcc(
+                        host_addr=bias_host.addr
+                        + m_range.start * bias_host.stride
+                        + n_range.start,
+                        host_stride=bias_host.stride,
+                        acc_row=acc_region,
+                        rows=m_range.size,
+                        cols=n_range.size,
+                    )
+                )
+            for k_index, k_range in enumerate(plan.k_tiles):
+                commands.append(
+                    Mvin(
+                        host_addr=a_host.addr
+                        + m_range.start * a_host.stride
+                        + k_range.start,
+                        host_stride=a_host.stride,
+                        sp_row=a_region,
+                        rows=m_range.size,
+                        cols=k_range.size,
+                    )
+                )
+                commands.append(
+                    Mvin(
+                        host_addr=b_host.addr
+                        + k_range.start * b_host.stride
+                        + n_range.start,
+                        host_stride=b_host.stride,
+                        sp_row=b_region,
+                        rows=k_range.size,
+                        cols=n_range.size,
+                    )
+                )
+                accumulate = k_index > 0 or bias_host is not None
+                if plan.dataflow is Dataflow.INPUT_STATIONARY:
+                    # IS holds the activation tile stationary and streams
+                    # the weight tile through the mesh.
+                    commands.append(
+                        Preload(
+                            sp_row=a_region,
+                            rows=m_range.size,
+                            cols=k_range.size,
+                            acc_row=acc_region,
+                            accumulate=accumulate,
+                        )
+                    )
+                    commands.append(
+                        Compute(
+                            a_sp_row=b_region,
+                            a_rows=k_range.size,
+                            a_cols=n_range.size,
+                        )
+                    )
+                else:
+                    commands.append(
+                        Preload(
+                            sp_row=b_region,
+                            rows=k_range.size,
+                            cols=n_range.size,
+                            acc_row=acc_region,
+                            accumulate=accumulate,
+                        )
+                    )
+                    commands.append(
+                        Compute(
+                            a_sp_row=a_region,
+                            a_rows=m_range.size,
+                            a_cols=k_range.size,
+                            b_sp_row=b_region,
+                            b_rows=k_range.size,
+                            b_cols=n_range.size,
+                        )
+                    )
+            commands.append(
+                MvoutAcc(
+                    acc_row=acc_region,
+                    host_addr=c_host.addr
+                    + m_range.start * c_host.stride
+                    + n_range.start,
+                    host_stride=c_host.stride,
+                    rows=m_range.size,
+                    cols=n_range.size,
+                )
+            )
+        commands.append(Fence())
+        return commands
+
+    # ------------------------------------------------------------------
+    # High-level operations
+    # ------------------------------------------------------------------
+    def matmul(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        dataflow: Dataflow = Dataflow.WEIGHT_STATIONARY,
+        bias: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """End-to-end GEMM through host memory, DMA, and the mesh."""
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(
+                f"incompatible GEMM operands: {a.shape} @ {b.shape}"
+            )
+        m, k = a.shape
+        n = b.shape[1]
+        plan = plan_gemm_tiling(m, k, n, self.mesh, dataflow)
+        a_host = self.host.alloc(m, k)
+        b_host = self.host.alloc(k, n)
+        c_host = self.host.alloc(m, n)
+        self.host.store(a_host, a)
+        self.host.store(b_host, b)
+        bias_host = None
+        if bias is not None:
+            bias = np.asarray(bias)
+            if bias.shape != (m, n):
+                raise ValueError(
+                    f"bias shape {bias.shape} does not match output ({m}, {n})"
+                )
+            bias_host = self.host.alloc(m, n)
+            self.host.store(bias_host, bias)
+        commands = self._gemm_commands(a_host, b_host, c_host, plan, bias_host)
+        self.controller.execute(commands)
+        return self.host.load(c_host)
+
+    def conv2d(
+        self,
+        inputs: np.ndarray,
+        weights: np.ndarray,
+        stride: int = 1,
+        padding: int = 0,
+        dataflow: Dataflow = Dataflow.WEIGHT_STATIONARY,
+    ) -> np.ndarray:
+        """Convolution lowered to GEMM on the accelerator (Section II-B).
+
+        The im2col transform runs on the host (as in CuDNN-style software
+        stacks); the GEMM runs through the full accelerator path.
+        """
+        inputs = np.asarray(inputs)
+        weights = np.asarray(weights)
+        geometry = ConvGeometry.from_tensors(
+            inputs, weights, stride=stride, padding=padding
+        )
+        patches = im2col(inputs, geometry)
+        weight_matrix = kernel_to_matrix(weights, geometry)
+        gemm_out = self.matmul(patches, weight_matrix, dataflow=dataflow)
+        return col2im_output(gemm_out, geometry)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> AcceleratorStats:
+        """Utilisation counters accumulated since construction."""
+        return AcceleratorStats(
+            controller=self.controller.stats,
+            mesh_cycles=self.engine.cycles_elapsed,
+            tiles_executed=self.engine.tiles_executed,
+            dma_bytes_in=self.dma.bytes_in,
+            dma_bytes_out=self.dma.bytes_out,
+            scratchpad_reads=self.scratchpad.reads,
+            scratchpad_writes=self.scratchpad.writes,
+            accumulator_reads=self.accumulator.reads,
+            accumulator_writes=self.accumulator.writes,
+        )

@@ -1,0 +1,185 @@
+"""The accelerator controller: in-order command interpretation.
+
+The controller is the functional analogue of Gemmini's decode/issue logic
+(the "DNN accelerator controller" block of the paper's Fig. 2): it walks a
+command stream, moves data through the DMA engine, latches stationary
+operands, drives the mesh engine for each ``Compute``, and accumulates
+results into the accumulator SRAM.
+
+Faults never live here — the paper's fault model targets the MAC datapath —
+so the controller simply passes operands to whatever (possibly faulty) mesh
+engine it was constructed with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gemmini.accumulator import AccumulatorMemory
+from repro.gemmini.dma import DmaEngine
+from repro.gemmini.isa import (
+    Command,
+    Compute,
+    ConfigEx,
+    Fence,
+    Mvin,
+    MvinAcc,
+    MvoutAcc,
+    Preload,
+)
+from repro.gemmini.scratchpad import Scratchpad
+from repro.systolic.dataflow import Dataflow
+
+__all__ = ["ControllerStats", "Controller"]
+
+
+@dataclass
+class ControllerStats:
+    """Execution counters surfaced by the accelerator's report."""
+
+    commands: int = 0
+    computes: int = 0
+    preloads: int = 0
+    mvins: int = 0
+    mvouts: int = 0
+    fences: int = 0
+
+
+@dataclass
+class _PendingPreload:
+    """Stationary operand + output placement latched by ``Preload``."""
+
+    weights: np.ndarray | None
+    acc_row: int
+    rows: int
+    cols: int
+    accumulate: bool
+
+
+class Controller:
+    """Interprets accelerator commands against the local memories and mesh.
+
+    Parameters
+    ----------
+    engine:
+        The mesh engine (cycle-accurate or functional), carrying the fault
+        overlay.
+    scratchpad, accumulator, dma:
+        The local memory system.
+    """
+
+    def __init__(
+        self,
+        engine,
+        scratchpad: Scratchpad,
+        accumulator: AccumulatorMemory,
+        dma: DmaEngine,
+    ) -> None:
+        self.engine = engine
+        self.scratchpad = scratchpad
+        self.accumulator = accumulator
+        self.dma = dma
+        self.stats = ControllerStats()
+        self._dataflow: Dataflow | None = None
+        self._pending: _PendingPreload | None = None
+
+    @property
+    def dataflow(self) -> Dataflow:
+        """The configured dataflow; raises if no ``ConfigEx`` ran yet."""
+        if self._dataflow is None:
+            raise RuntimeError("dataflow not configured (issue ConfigEx first)")
+        return self._dataflow
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, commands: list[Command]) -> None:
+        """Run a command stream to completion, in order."""
+        for command in commands:
+            self.execute_one(command)
+
+    def execute_one(self, command: Command) -> None:
+        """Dispatch a single command."""
+        self.stats.commands += 1
+        if isinstance(command, ConfigEx):
+            self._dataflow = command.dataflow
+        elif isinstance(command, Mvin):
+            self.dma.mvin(
+                command.host_addr,
+                command.host_stride,
+                command.sp_row,
+                command.rows,
+                command.cols,
+            )
+            self.stats.mvins += 1
+        elif isinstance(command, MvinAcc):
+            block = self.dma.host.read_strided(
+                command.host_addr, command.host_stride, command.rows, command.cols
+            )
+            self.accumulator.store_block(command.acc_row, block, accumulate=False)
+            self.stats.mvins += 1
+        elif isinstance(command, MvoutAcc):
+            self.dma.mvout_acc(
+                command.acc_row,
+                command.host_addr,
+                command.host_stride,
+                command.rows,
+                command.cols,
+            )
+            self.stats.mvouts += 1
+        elif isinstance(command, Preload):
+            self._execute_preload(command)
+        elif isinstance(command, Compute):
+            self._execute_compute(command)
+        elif isinstance(command, Fence):
+            self.stats.fences += 1
+        else:
+            raise TypeError(f"unknown command: {command!r}")
+
+    # ------------------------------------------------------------------
+    def _execute_preload(self, command: Preload) -> None:
+        weights = None
+        if self.dataflow in (
+            Dataflow.WEIGHT_STATIONARY,
+            Dataflow.INPUT_STATIONARY,
+        ):
+            # Latch the stationary tile: the weight tile under WS, the
+            # activation tile under IS. OS has no stationary operand.
+            weights = self.scratchpad.read_block(
+                command.sp_row, command.rows, command.cols
+            )
+        self._pending = _PendingPreload(
+            weights=weights,
+            acc_row=command.acc_row,
+            rows=command.rows,
+            cols=command.cols,
+            accumulate=command.accumulate,
+        )
+        self.stats.preloads += 1
+
+    def _execute_compute(self, command: Compute) -> None:
+        if self._pending is None:
+            raise RuntimeError("Compute issued without a preceding Preload")
+        pending, self._pending = self._pending, None
+        streamed = self.scratchpad.read_block(
+            command.a_sp_row, command.a_rows, command.a_cols
+        )
+        if self.dataflow is Dataflow.WEIGHT_STATIONARY:
+            assert pending.weights is not None
+            result = self.engine.matmul(streamed, pending.weights, self.dataflow)
+        elif self.dataflow is Dataflow.INPUT_STATIONARY:
+            # IS streams the weights; the stationary tile is the activation
+            # (left) operand of the GEMM.
+            assert pending.weights is not None
+            result = self.engine.matmul(pending.weights, streamed, self.dataflow)
+        else:
+            b = self.scratchpad.read_block(
+                command.b_sp_row, command.b_rows, command.b_cols
+            )
+            result = self.engine.matmul(streamed, b, self.dataflow)
+        self.accumulator.store_block(
+            pending.acc_row, result, accumulate=pending.accumulate
+        )
+        self.stats.computes += 1

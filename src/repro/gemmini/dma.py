@@ -1,0 +1,156 @@
+"""Host memory and the DMA engine between host and local memories.
+
+Gemmini's host (the Rocket core) owns a flat DRAM; the accelerator's DMA
+moves strided 2-D blocks between DRAM and the scratchpad/accumulator. This
+module models that path: :class:`HostMemory` is a flat element array with a
+bump allocator, and :class:`DmaEngine` performs the strided copies while
+counting traffic (the stats surface in the accelerator's utilisation
+report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gemmini.accumulator import AccumulatorMemory
+from repro.gemmini.scratchpad import Scratchpad
+
+__all__ = ["HostArray", "HostMemory", "DmaEngine"]
+
+
+@dataclass(frozen=True)
+class HostArray:
+    """A 2-D allocation in host memory: base element address plus shape."""
+
+    addr: int
+    rows: int
+    cols: int
+
+    @property
+    def stride(self) -> int:
+        """Row pitch in elements (allocations are dense)."""
+        return self.cols
+
+
+class HostMemory:
+    """Flat host DRAM with a bump allocator, element-addressed.
+
+    Elements are int64 so both INT8 operands and INT32 results fit without
+    separate address spaces; hardware-width truncation happens at the DMA
+    boundaries (scratchpad wraps to INT8, accumulator to INT32).
+    """
+
+    def __init__(self, capacity_elems: int = 1 << 22) -> None:
+        if capacity_elems <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_elems}")
+        self._data = np.zeros(capacity_elems, dtype=np.int64)
+        self._next = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._data.size
+
+    @property
+    def allocated(self) -> int:
+        """Elements allocated so far."""
+        return self._next
+
+    def alloc(self, rows: int, cols: int) -> HostArray:
+        """Allocate a dense ``rows x cols`` array."""
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"invalid allocation shape {rows}x{cols}")
+        size = rows * cols
+        if self._next + size > self._data.size:
+            raise MemoryError(
+                f"host memory exhausted: need {size} elements, "
+                f"{self._data.size - self._next} free"
+            )
+        array = HostArray(addr=self._next, rows=rows, cols=cols)
+        self._next += size
+        return array
+
+    def store(self, array: HostArray, values: np.ndarray) -> None:
+        """Copy a full 2-D numpy array into an allocation."""
+        values = np.asarray(values)
+        if values.shape != (array.rows, array.cols):
+            raise ValueError(
+                f"value shape {values.shape} does not match allocation "
+                f"({array.rows}, {array.cols})"
+            )
+        view = self._data[array.addr : array.addr + array.rows * array.cols]
+        view[:] = values.reshape(-1)
+
+    def load(self, array: HostArray) -> np.ndarray:
+        """Read a full allocation back as a 2-D numpy array."""
+        view = self._data[array.addr : array.addr + array.rows * array.cols]
+        return view.reshape(array.rows, array.cols).copy()
+
+    # ------------------------------------------------------------------
+    # Raw strided access used by the DMA engine
+    # ------------------------------------------------------------------
+    def read_strided(
+        self, addr: int, stride: int, rows: int, cols: int
+    ) -> np.ndarray:
+        """Read a strided ``rows x cols`` block starting at ``addr``."""
+        self._check(addr, stride, rows, cols)
+        out = np.zeros((rows, cols), dtype=np.int64)
+        for r in range(rows):
+            start = addr + r * stride
+            out[r, :] = self._data[start : start + cols]
+        return out
+
+    def write_strided(self, addr: int, stride: int, block: np.ndarray) -> None:
+        """Write a ``rows x cols`` block with row pitch ``stride``."""
+        block = np.asarray(block)
+        rows, cols = block.shape
+        self._check(addr, stride, rows, cols)
+        for r in range(rows):
+            start = addr + r * stride
+            self._data[start : start + cols] = block[r, :]
+
+    def _check(self, addr: int, stride: int, rows: int, cols: int) -> None:
+        if addr < 0 or stride < cols or rows <= 0 or cols <= 0:
+            raise ValueError(
+                f"invalid strided access: addr={addr} stride={stride} "
+                f"rows={rows} cols={cols}"
+            )
+        last = addr + (rows - 1) * stride + cols
+        if last > self._data.size:
+            raise IndexError(
+                f"strided access [{addr}, {last}) exceeds host memory "
+                f"({self._data.size} elements)"
+            )
+
+
+class DmaEngine:
+    """Strided block mover between host memory and local memories."""
+
+    def __init__(
+        self,
+        host: HostMemory,
+        scratchpad: Scratchpad,
+        accumulator: AccumulatorMemory,
+    ) -> None:
+        self.host = host
+        self.scratchpad = scratchpad
+        self.accumulator = accumulator
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def mvin(
+        self, host_addr: int, host_stride: int, sp_row: int, rows: int, cols: int
+    ) -> None:
+        """Host -> scratchpad block move (operand load path)."""
+        block = self.host.read_strided(host_addr, host_stride, rows, cols)
+        self.scratchpad.write_block(sp_row, block)
+        self.bytes_in += rows * cols * self.scratchpad.dtype.width // 8
+
+    def mvout_acc(
+        self, acc_row: int, host_addr: int, host_stride: int, rows: int, cols: int
+    ) -> None:
+        """Accumulator -> host block move (result drain path)."""
+        block = self.accumulator.read_block(acc_row, rows, cols)
+        self.host.write_strided(host_addr, host_stride, block)
+        self.bytes_out += rows * cols * self.accumulator.dtype.width // 8

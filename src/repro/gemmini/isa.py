@@ -1,0 +1,131 @@
+"""The accelerator command set (a functional model of Gemmini's RoCC ISA).
+
+The paper's platform drives the systolic mesh through Gemmini's command
+interface: data movement between host memory and the scratchpad (``MVIN`` /
+``MVOUT``), stationary-operand preloading (``PRELOAD``), and tile execution
+(``COMPUTE``) accumulating into the accumulator SRAM. This module defines
+those commands as immutable dataclasses; :mod:`repro.gemmini.controller`
+interprets them.
+
+Addresses are *row addresses*: the scratchpad and accumulator are organised
+as rows of ``mesh.cols`` elements, matching Gemmini's row-oriented local
+memories.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.systolic.dataflow import Dataflow
+
+__all__ = [
+    "Command",
+    "ConfigEx",
+    "Mvin",
+    "MvinAcc",
+    "MvoutAcc",
+    "Preload",
+    "Compute",
+    "Fence",
+]
+
+
+class Command:
+    """Marker base class for all accelerator commands."""
+
+
+@dataclass(frozen=True)
+class ConfigEx(Command):
+    """Configure the execution unit: select the dataflow mapping scheme."""
+
+    dataflow: Dataflow
+
+
+@dataclass(frozen=True)
+class Mvin(Command):
+    """Move ``rows x cols`` elements from host memory into the scratchpad.
+
+    ``host_addr`` is an element offset into host memory; ``host_stride`` is
+    the row pitch in elements (so sub-matrices of larger host arrays can be
+    loaded without copies, as the DMA engine does in hardware).
+    """
+
+    host_addr: int
+    host_stride: int
+    sp_row: int
+    rows: int
+    cols: int
+
+
+@dataclass(frozen=True)
+class MvinAcc(Command):
+    """Move ``rows x cols`` INT32 values from host into the accumulator.
+
+    Used to seed output tiles with a bias before the reduction loop
+    accumulates tile products on top.
+    """
+
+    host_addr: int
+    host_stride: int
+    acc_row: int
+    rows: int
+    cols: int
+
+
+@dataclass(frozen=True)
+class MvoutAcc(Command):
+    """Move ``rows x cols`` INT32 results from the accumulator to host."""
+
+    acc_row: int
+    host_addr: int
+    host_stride: int
+    rows: int
+    cols: int
+
+
+@dataclass(frozen=True)
+class Preload(Command):
+    """Latch the stationary operand for the next ``Compute``.
+
+    Under WS this loads the weight tile from scratchpad rows
+    ``[sp_row, sp_row + rows)`` into the mesh. Under OS there is no
+    stationary operand to preload; the command only records the pending
+    output placement (Gemmini uses the same two-command sequence for both
+    dataflows).
+    """
+
+    sp_row: int
+    rows: int
+    cols: int
+    acc_row: int
+    accumulate: bool
+
+
+@dataclass(frozen=True)
+class Compute(Command):
+    """Execute one tile operation with the previously preloaded operand.
+
+    Streams operand ``A`` from scratchpad rows ``[a_sp_row, a_sp_row +
+    a_rows)`` through the mesh. Under WS the second operand is the
+    preloaded weight tile; under OS it is streamed from rows
+    ``[b_sp_row, b_sp_row + b_rows)``. The result lands in the accumulator
+    at the placement recorded by the preceding :class:`Preload`.
+    """
+
+    a_sp_row: int
+    a_rows: int
+    a_cols: int
+    b_sp_row: int = 0
+    b_rows: int = 0
+    b_cols: int = 0
+
+
+@dataclass(frozen=True)
+class Fence(Command):
+    """Barrier: all prior commands complete before proceeding.
+
+    The functional controller is already in-order; the command exists so
+    that generated command streams match the shape of real Gemmini code
+    and so the controller can count synchronisation points.
+    """

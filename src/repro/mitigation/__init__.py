@@ -1,0 +1,37 @@
+"""Fault mitigation and diagnosis built on the pattern taxonomy.
+
+The paper's related-work section surveys mitigation techniques (Majumdar's
+time redundancy, Burel et al.'s MOZART off-lining) and argues that
+software-level fault characterisation "will enable generic software
+resilience solutions". This package is that enablement, implemented:
+
+* :class:`~repro.mitigation.abft.AbftGemm` — Huang-Abraham checksums with
+  an INT8-legal digit-plane encoding: corrects OS single-element errors,
+  detects WS column errors;
+* :class:`~repro.mitigation.redundancy.TemporalRedundantGemm` — rotated
+  re-execution with majority voting (Majumdar-style time redundancy);
+* :class:`~repro.mitigation.offlining.OffliningGemm` — MOZART-style
+  remapping around diagnosed faulty columns;
+* :func:`~repro.mitigation.bist.run_bist` — test vectors + the inverse
+  predictor (:mod:`repro.core.diagnosis`) to locate faulty MACs exactly.
+"""
+
+from repro.mitigation.abft import AbftGemm, AbftReport
+from repro.mitigation.bist import BistReport, bist_vectors, run_bist
+from repro.mitigation.offlining import OffliningGemm, OffliningReport
+from repro.mitigation.redundancy import RedundancyReport, TemporalRedundantGemm
+from repro.mitigation.selection import DataflowChoice, select_dataflow
+
+__all__ = [
+    "AbftGemm",
+    "AbftReport",
+    "TemporalRedundantGemm",
+    "RedundancyReport",
+    "OffliningGemm",
+    "OffliningReport",
+    "run_bist",
+    "BistReport",
+    "bist_vectors",
+    "select_dataflow",
+    "DataflowChoice",
+]

@@ -1,0 +1,159 @@
+"""Time redundancy with operand rotation (after Majumdar et al.).
+
+Majumdar, Raghavendra and Breuer's classic approach achieves fault
+tolerance in systolic arrays by re-executing computations displaced in
+time and space. The variant here exploits the paper's pattern geometry
+directly: the fault is pinned to a *physical* mesh column, so re-running
+the GEMM with operand columns rotated maps each *logical* output column
+onto a different physical column per run. A logical column is then
+corrupted in at most one run, and a majority vote across three runs
+recovers the golden output — for WS *and* OS faults alike, since both
+pattern classes live in a single physical column.
+
+Soundness requires that the rotations actually change each logical
+column's physical placement, which tiling can silently defeat: with the
+output wider than the mesh, a globally-rotated column may land at the same
+physical column in a *different tile*. The executor therefore zero-pads
+the width to a whole number of mesh tiles and rotates **within each
+tile-sized block**, so every logical column visits ``runs`` distinct
+physical columns (this is why ``runs <= mesh.cols`` is validated). The
+property suite found the unpadded variant's unsoundness; see
+``tests/property/test_cross_stack_props.py``.
+
+Under IS the fault corrupts output *rows* hosted on mesh columns, so the
+same block rotation is applied to the activation's row dimension.
+
+The cost is exact and reported: ``runs`` full executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ops.gemm import TiledGemm
+from repro.systolic.dataflow import Dataflow
+
+__all__ = ["RedundancyReport", "TemporalRedundantGemm"]
+
+
+@dataclass(frozen=True)
+class RedundancyReport:
+    """Outcome of a redundant execution."""
+
+    output: np.ndarray
+    runs: int
+    disagreeing_cells: int
+    unresolved_cells: int
+
+    @property
+    def fault_detected(self) -> bool:
+        """Whether any run disagreed with the others."""
+        return self.disagreeing_cells > 0
+
+    @property
+    def fully_corrected(self) -> bool:
+        """Whether every disagreement was resolved by majority."""
+        return self.unresolved_cells == 0
+
+
+def _block_rotation(extent: int, block: int, shift: int) -> np.ndarray:
+    """Index map rotating each ``block``-sized span of ``range(extent)``.
+
+    ``extent`` must be a multiple of ``block``; position ``i`` receives the
+    element from ``(i + shift) mod block`` within its own block.
+    """
+    index = np.arange(extent)
+    base = (index // block) * block
+    return base + (index - base + shift) % block
+
+
+class TemporalRedundantGemm:
+    """GEMM executor with block-rotated re-execution and majority voting.
+
+    Parameters
+    ----------
+    engine:
+        The (possibly faulty) mesh engine; all runs share it, as all runs
+        share the physical hardware in the real scheme.
+    dataflow:
+        Mapping scheme. WS/OS rotate the weight columns; IS rotates the
+        activation rows (its fault patterns live in output rows).
+    runs:
+        Number of executions; 2 detects, 3 (default) corrects by majority.
+        Must not exceed the mesh width (each logical column must visit
+        ``runs`` distinct physical columns).
+    """
+
+    def __init__(self, engine, dataflow: Dataflow, runs: int = 3) -> None:
+        if runs < 2:
+            raise ValueError(f"redundancy needs at least 2 runs, got {runs}")
+        if runs > engine.config.cols:
+            raise ValueError(
+                f"{runs} runs need {runs} distinct physical columns, mesh "
+                f"has {engine.config.cols}"
+            )
+        self.engine = engine
+        self.dataflow = dataflow
+        self.runs = runs
+        self._gemm = TiledGemm(engine)
+
+    # ------------------------------------------------------------------
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> RedundancyReport:
+        """Compute ``A @ B`` ``runs`` times with block rotation + vote."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(
+                f"incompatible GEMM operands: {a.shape} @ {b.shape}"
+            )
+        m, _ = a.shape
+        n = b.shape[1]
+        block = self.engine.config.cols
+
+        if self.dataflow is Dataflow.INPUT_STATIONARY:
+            # Pad output rows to whole mesh-width blocks and rotate A's
+            # rows (output rows ride on mesh columns under IS).
+            padded_m = -(-m // block) * block
+            a_padded = np.zeros((padded_m, a.shape[1]), dtype=np.int64)
+            a_padded[:m] = a
+            outputs = []
+            for shift in range(self.runs):
+                index = _block_rotation(padded_m, block, shift)
+                raw = self._gemm(a_padded[index], b, self.dataflow).output
+                restore = np.empty_like(index)
+                restore[index] = np.arange(padded_m)
+                outputs.append(raw[restore][:m])
+        else:
+            padded_n = -(-n // block) * block
+            b_padded = np.zeros((b.shape[0], padded_n), dtype=np.int64)
+            b_padded[:, :n] = b
+            outputs = []
+            for shift in range(self.runs):
+                index = _block_rotation(padded_n, block, shift)
+                raw = self._gemm(a, b_padded[:, index], self.dataflow).output
+                restore = np.empty_like(index)
+                restore[index] = np.arange(padded_n)
+                outputs.append(raw[:, restore][:, :n])
+
+        stack = np.stack(outputs)  # (runs, M, N)
+
+        # Majority vote per cell: with one physical-column fault and the
+        # block rotation above, at most one run per cell is corrupted.
+        agree_counts = (stack[:, None, :, :] == stack[None, :, :, :]).sum(axis=1)
+        best_run = np.argmax(agree_counts, axis=0)
+        best_count = np.take_along_axis(
+            agree_counts, best_run[None, :, :], axis=0
+        )[0]
+        output = np.take_along_axis(stack, best_run[None, :, :], axis=0)[0]
+
+        disagreeing = int((~np.all(stack == stack[0], axis=0)).sum())
+        majority = self.runs // 2 + 1
+        unresolved = int((best_count < majority).sum())
+        return RedundancyReport(
+            output=output,
+            runs=self.runs,
+            disagreeing_cells=disagreeing,
+            unresolved_cells=unresolved,
+        )

@@ -1,0 +1,138 @@
+"""Vulnerability-aware dataflow selection.
+
+The paper's RQ1 establishes that dataflows differ sharply in fault
+tolerance (OS corrupts one element per fault, WS a whole column) and its
+related work (Burel et al.) proposes OS-based architectures for exactly
+that reason. This module turns the observation into a scheduling decision:
+for each operation, pick the dataflow that minimises *expected fault
+damage* — computed analytically from the vulnerability model — subject to
+a performance-overhead budget from the cycle model.
+
+Expected damage of one uniformly-random stuck-at fault is
+
+    architectural_sdc_rate x mean_blast_radius
+
+i.e. the probability the fault reaches the output times the cells it
+corrupts when it does. Both factors come from
+:func:`repro.core.vulnerability.analyze_operation`; no simulation runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.vulnerability import VulnerabilityProfile, analyze_operation
+from repro.gemmini.performance import PerformanceEstimate, PerformanceModel
+from repro.ops.im2col import ConvGeometry
+from repro.ops.tiling import plan_gemm_tiling
+from repro.systolic.array import MeshConfig
+from repro.systolic.dataflow import Dataflow
+
+__all__ = ["DataflowChoice", "select_dataflow"]
+
+
+@dataclass(frozen=True)
+class DataflowChoice:
+    """The outcome of one selection decision."""
+
+    dataflow: Dataflow
+    expected_damage: float
+    total_cycles: int
+    profile: VulnerabilityProfile
+    estimate: PerformanceEstimate
+    alternatives: tuple[tuple[Dataflow, float, int], ...]
+
+    @property
+    def damage_reduction(self) -> float:
+        """Expected-damage ratio of the worst alternative to the choice
+        (>= 1; how much the selection bought)."""
+        worst = max(
+            [self.expected_damage]
+            + [damage for _, damage, _ in self.alternatives]
+        )
+        if self.expected_damage == 0:
+            return float("inf") if worst > 0 else 1.0
+        return worst / self.expected_damage
+
+
+def _expected_damage(profile: VulnerabilityProfile) -> float:
+    return profile.architectural_sdc_rate * profile.mean_blast_radius
+
+
+def select_dataflow(
+    m: int,
+    k: int,
+    n: int,
+    mesh: MeshConfig,
+    geometry: ConvGeometry | None = None,
+    max_overhead: float = 0.25,
+    model: PerformanceModel | None = None,
+    candidates: tuple[Dataflow, ...] = (
+        Dataflow.OUTPUT_STATIONARY,
+        Dataflow.WEIGHT_STATIONARY,
+        Dataflow.INPUT_STATIONARY,
+    ),
+) -> DataflowChoice:
+    """Pick the fault-tolerance-optimal dataflow within a cycle budget.
+
+    Parameters
+    ----------
+    m, k, n:
+        The (lowered) GEMM dimensions of the operation.
+    geometry:
+        Convolution geometry, when the GEMM is a lowered convolution
+        (switches vulnerability into channel space).
+    max_overhead:
+        Admissible slowdown relative to the fastest candidate: a dataflow
+        is eligible iff ``cycles <= (1 + max_overhead) * best_cycles``.
+    model:
+        Performance model; defaults to the mesh with Gemmini-like DMA.
+
+    Raises
+    ------
+    ValueError
+        If no candidate dataflow can execute the operation (e.g. IS with
+        ``k`` exceeding the mesh is skipped; if all are skipped).
+    """
+    if max_overhead < 0:
+        raise ValueError(f"max_overhead must be >= 0, got {max_overhead}")
+    model = model or PerformanceModel(mesh)
+
+    evaluated: list[tuple[Dataflow, float, int, VulnerabilityProfile, PerformanceEstimate]] = []
+    for dataflow in candidates:
+        try:
+            plan = plan_gemm_tiling(m, k, n, mesh, dataflow)
+        except ValueError:
+            continue  # dataflow cannot host this shape
+        profile = analyze_operation(plan, mesh, geometry=geometry)
+        estimate = model.estimate(plan)
+        evaluated.append(
+            (dataflow, _expected_damage(profile), estimate.total_cycles,
+             profile, estimate)
+        )
+    if not evaluated:
+        raise ValueError(
+            f"no candidate dataflow can execute a {m}x{k}x{n} GEMM on "
+            f"{mesh.rows}x{mesh.cols}"
+        )
+
+    best_cycles = min(cycles for _, _, cycles, _, _ in evaluated)
+    budget = (1.0 + max_overhead) * best_cycles
+    eligible = [entry for entry in evaluated if entry[2] <= budget]
+    # Tie-break deterministically: damage, then cycles, then enum order.
+    order = {dataflow: i for i, dataflow in enumerate(candidates)}
+    eligible.sort(key=lambda e: (e[1], e[2], order[e[0]]))
+    dataflow, damage, cycles, profile, estimate = eligible[0]
+    alternatives = tuple(
+        (other, other_damage, other_cycles)
+        for other, other_damage, other_cycles, _, _ in evaluated
+        if other is not dataflow
+    )
+    return DataflowChoice(
+        dataflow=dataflow,
+        expected_damage=damage,
+        total_cycles=cycles,
+        profile=profile,
+        estimate=estimate,
+        alternatives=alternatives,
+    )

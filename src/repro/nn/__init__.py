@@ -1,0 +1,60 @@
+"""A small quantised DNN inference engine over the systolic substrate.
+
+Built for the paper's motivating studies: how stuck-at faults in the
+accelerator degrade end-to-end DNN accuracy (Zhang et al.'s experiment) and
+how near-zero weights mask fault patterns (Challenge 2).
+
+Public API
+----------
+:class:`~repro.nn.model.Sequential` with the layers of
+:mod:`repro.nn.layers`, execution :mod:`repro.nn.backends` (golden /
+faulty-systolic / pattern-injection), the synthetic digits dataset of
+:mod:`repro.nn.datasets`, and the INT8 quantisation helpers of
+:mod:`repro.nn.quantize`.
+"""
+
+from repro.nn.backends import (
+    Backend,
+    PatternInjectionBackend,
+    ReferenceBackend,
+    SystolicBackend,
+)
+from repro.nn.datasets import (
+    DIGIT_TEMPLATES,
+    build_conv_classifier,
+    build_dense_classifier,
+    digit_templates,
+    make_digits,
+)
+from repro.nn.layers import Conv2D, Dense, Flatten, Layer, MaxPool2D, ReLU
+from repro.nn.model import Sequential, accuracy
+from repro.nn.quantize import dequantize, quantize_symmetric, requantize_shift
+from repro.nn.zoo import ALEXNET, LENET5, NETWORKS, RESNET18_CONV, LayerShape
+
+__all__ = [
+    "Sequential",
+    "accuracy",
+    "Layer",
+    "Conv2D",
+    "Dense",
+    "ReLU",
+    "MaxPool2D",
+    "Flatten",
+    "Backend",
+    "ReferenceBackend",
+    "SystolicBackend",
+    "PatternInjectionBackend",
+    "make_digits",
+    "digit_templates",
+    "DIGIT_TEMPLATES",
+    "build_dense_classifier",
+    "build_conv_classifier",
+    "quantize_symmetric",
+    "requantize_shift",
+    "dequantize",
+    "LayerShape",
+    "LENET5",
+    "ALEXNET",
+    "RESNET18_CONV",
+    "NETWORKS",
+]

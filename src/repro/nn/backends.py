@@ -1,0 +1,174 @@
+"""Execution backends for the inference engine's compute layers.
+
+A backend is where a layer's GEMM/convolution actually runs. Swapping the
+backend is how the repo's studies move between abstraction levels without
+touching the model:
+
+* :class:`ReferenceBackend` — plain numpy with hardware wrap semantics
+  (fault-free golden execution);
+* :class:`SystolicBackend` — the tiled systolic engine, optionally with an
+  injected fault: this is "running the DNN on the (faulty) accelerator",
+  the setting of Zhang et al.'s accuracy experiments;
+* :class:`PatternInjectionBackend` — golden compute plus application-level
+  pattern corruption of the output, i.e. the paper's proposed
+  TensorFI/LLTFI integration. Comparing this against
+  :class:`SystolicBackend` under the same fault site is the appfi
+  ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.appfi.injector import AppLevelInjector
+from repro.faults.injector import NO_FAULTS, FaultInjector
+from repro.faults.sites import FaultSite
+from repro.ops.conv import SystolicConv2d
+from repro.ops.gemm import TiledGemm
+from repro.ops.im2col import ConvGeometry
+from repro.ops.reference import reference_conv2d, reference_gemm
+from repro.systolic.array import MeshConfig
+from repro.systolic.dataflow import Dataflow
+from repro.systolic.functional import FunctionalSimulator
+
+__all__ = [
+    "Backend",
+    "ReferenceBackend",
+    "SystolicBackend",
+    "AcceleratorBackend",
+    "PatternInjectionBackend",
+]
+
+
+class Backend(Protocol):
+    """The two integer kernels every compute layer needs."""
+
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Wrapped-INT32 ``A @ B``."""
+        ...
+
+    def conv2d(
+        self, x: np.ndarray, w: np.ndarray, stride: int, padding: int
+    ) -> np.ndarray:
+        """Wrapped-INT32 NCHW convolution with a KCRS kernel."""
+        ...
+
+
+class ReferenceBackend:
+    """Golden numpy execution (the 'CPU' baseline)."""
+
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return reference_gemm(a, b)
+
+    def conv2d(
+        self, x: np.ndarray, w: np.ndarray, stride: int, padding: int
+    ) -> np.ndarray:
+        return reference_conv2d(x, w, stride=stride, padding=padding)
+
+
+class SystolicBackend:
+    """Runs compute layers on the systolic mesh, faults included.
+
+    Parameters
+    ----------
+    mesh:
+        Accelerator mesh configuration.
+    injector:
+        Fault overlay (e.g. k stuck-at faults for the accuracy-vs-faulty-
+        MACs study).
+    dataflow:
+        Mapping scheme used for both GEMM and convolution layers.
+    """
+
+    def __init__(
+        self,
+        mesh: MeshConfig,
+        injector: FaultInjector = NO_FAULTS,
+        dataflow: Dataflow = Dataflow.WEIGHT_STATIONARY,
+    ) -> None:
+        self.mesh = mesh
+        self.injector = injector
+        self.dataflow = dataflow
+        self._engine = FunctionalSimulator(mesh, injector=injector)
+        self._gemm = TiledGemm(self._engine)
+
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._gemm(a, b, self.dataflow).output
+
+    def conv2d(
+        self, x: np.ndarray, w: np.ndarray, stride: int, padding: int
+    ) -> np.ndarray:
+        conv = SystolicConv2d(
+            self._engine, self.dataflow, stride=stride, padding=padding
+        )
+        return conv(x, w).output
+
+
+class AcceleratorBackend:
+    """Runs compute layers through the full Gemmini-like stack.
+
+    Unlike :class:`SystolicBackend` (bare mesh engine), every layer here
+    travels the complete command path — host memory, DMA, scratchpad,
+    PRELOAD/COMPUTE streams, accumulator SRAM — which is what the paper's
+    platform does, and what surfaces in the accelerator's utilisation
+    statistics (``backend.accelerator.stats()``).
+    """
+
+    def __init__(
+        self,
+        mesh: MeshConfig,
+        injector: FaultInjector = NO_FAULTS,
+        dataflow: Dataflow = Dataflow.WEIGHT_STATIONARY,
+        host_capacity: int = 1 << 24,
+    ) -> None:
+        # Imported here to keep repro.nn importable without the gemmini
+        # package in degraded environments.
+        from repro.gemmini import GemminiAccelerator
+
+        self.mesh = mesh
+        self.dataflow = dataflow
+        self.accelerator = GemminiAccelerator(
+            mesh, injector=injector, host_capacity=host_capacity
+        )
+
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.accelerator.matmul(a, b, dataflow=self.dataflow)
+
+    def conv2d(
+        self, x: np.ndarray, w: np.ndarray, stride: int, padding: int
+    ) -> np.ndarray:
+        return self.accelerator.conv2d(
+            x, w, stride=stride, padding=padding, dataflow=self.dataflow
+        )
+
+
+class PatternInjectionBackend:
+    """Golden compute + application-level pattern corruption.
+
+    Corrupts the output of every operation it executes using the derived
+    systolic fault pattern for ``site`` — emulating a *permanent* fault,
+    which affects every operation that runs on the accelerator, exactly as
+    the paper's stuck-at model does.
+    """
+
+    def __init__(
+        self,
+        injector: AppLevelInjector,
+        site: FaultSite,
+    ) -> None:
+        self.injector = injector
+        self.site = site
+        self._golden = ReferenceBackend()
+
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        golden = self._golden.gemm(a, b)
+        return self.injector.inject_gemm(golden, k=a.shape[1], site=self.site)
+
+    def conv2d(
+        self, x: np.ndarray, w: np.ndarray, stride: int, padding: int
+    ) -> np.ndarray:
+        golden = self._golden.conv2d(x, w, stride, padding)
+        geometry = ConvGeometry.from_tensors(x, w, stride=stride, padding=padding)
+        return self.injector.inject_conv(golden, geometry, site=self.site)

@@ -1,0 +1,68 @@
+"""Sequential model container and evaluation helpers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.backends import Backend
+from repro.nn.layers import Layer
+
+__all__ = ["Sequential", "accuracy"]
+
+
+class Sequential:
+    """A feed-forward stack of layers.
+
+    Parameters
+    ----------
+    layers:
+        Layers applied in order. Compute layers (Conv2D / Dense) receive
+        the model's backend via :meth:`set_backend`.
+    """
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        self.layers = list(layers)
+
+    def set_backend(self, backend: Backend) -> None:
+        """Route every compute layer through ``backend``.
+
+        This is the knob of the fault studies: the same trained model runs
+        golden, on a faulty mesh, or under application-level injection,
+        depending only on the backend.
+        """
+        for layer in self.layers:
+            layer.set_backend(backend)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the stack; returns the last layer's output (logits)."""
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions: argmax over the logits axis."""
+        logits = self.forward(x)
+        if logits.ndim != 2:
+            raise ValueError(
+                f"expected (batch, classes) logits, got shape {logits.shape}"
+            )
+        return np.argmax(logits, axis=1)
+
+    def evaluate(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy on a labelled batch."""
+        return accuracy(self.predict(x), labels)
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of matching predictions."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"prediction shape {predictions.shape} != label shape {labels.shape}"
+        )
+    if predictions.size == 0:
+        return 0.0
+    return float(np.mean(predictions == labels))

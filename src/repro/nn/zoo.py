@@ -1,0 +1,150 @@
+"""Canonical CNN layer-shape zoo for vulnerability studies.
+
+The paper characterises two convolution kernels; a downstream user of its
+methodology wants the same characterisation for *their* network. This
+module provides layer-shape definitions (shapes only — no weights) for
+representative networks, and the lowering of each layer to the GEMM the
+accelerator would run, ready for :func:`repro.core.vulnerability.analyze_operation`
+or full FI campaigns.
+
+The shapes follow the original publications (LeNet-5 on 28x28 inputs,
+AlexNet on 227x227, the conv backbone of ResNet-18 on 224x224); fully-
+connected layers are included as pure GEMMs with batch size 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ops.im2col import ConvGeometry
+from repro.ops.tiling import TilingPlan, plan_gemm_tiling
+from repro.systolic.array import MeshConfig
+from repro.systolic.dataflow import Dataflow
+
+__all__ = ["LayerShape", "LENET5", "ALEXNET", "RESNET18_CONV", "NETWORKS"]
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """One layer's shape: either a convolution or a fully-connected GEMM.
+
+    Convolutions carry NCHW/KRS parameters; FC layers set ``kind="fc"``
+    with ``fc_in``/``fc_out`` and lower to a ``(batch, in) x (in, out)``
+    GEMM.
+    """
+
+    name: str
+    kind: str  # "conv" | "fc"
+    in_channels: int = 0
+    out_channels: int = 0
+    height: int = 0
+    width: int = 0
+    kernel: int = 0
+    stride: int = 1
+    padding: int = 0
+    fc_in: int = 0
+    fc_out: int = 0
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("conv", "fc"):
+            raise ValueError(f"kind must be 'conv' or 'fc', got {self.kind!r}")
+
+    # ------------------------------------------------------------------
+    def geometry(self) -> ConvGeometry | None:
+        """The convolution geometry, or None for FC layers."""
+        if self.kind != "conv":
+            return None
+        return ConvGeometry(
+            n=self.batch,
+            c=self.in_channels,
+            h=self.height,
+            w=self.width,
+            k=self.out_channels,
+            r=self.kernel,
+            s=self.kernel,
+            stride=self.stride,
+            padding=self.padding,
+        )
+
+    def gemm_shape(self) -> tuple[int, int, int]:
+        """The lowered GEMM's ``(M, K, N)``."""
+        if self.kind == "fc":
+            return (self.batch, self.fc_in, self.fc_out)
+        g = self.geometry()
+        assert g is not None
+        return (g.gemm_m, g.gemm_k, g.gemm_n)
+
+    def plan(
+        self, mesh: MeshConfig, dataflow: Dataflow = Dataflow.WEIGHT_STATIONARY
+    ) -> TilingPlan:
+        """Tiling plan of the lowered GEMM on ``mesh``."""
+        m, k, n = self.gemm_shape()
+        return plan_gemm_tiling(m, k, n, mesh, dataflow)
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations of the layer."""
+        m, k, n = self.gemm_shape()
+        return m * k * n
+
+
+def _conv(name, c, k, hw, kernel, stride=1, padding=0) -> LayerShape:
+    return LayerShape(
+        name=name,
+        kind="conv",
+        in_channels=c,
+        out_channels=k,
+        height=hw,
+        width=hw,
+        kernel=kernel,
+        stride=stride,
+        padding=padding,
+    )
+
+
+def _fc(name, fc_in, fc_out) -> LayerShape:
+    return LayerShape(name=name, kind="fc", fc_in=fc_in, fc_out=fc_out)
+
+
+#: LeNet-5 (LeCun et al. 1998), the network of the paper's motivating
+#: MNIST citation, on 28x28 inputs (padded to 32 in conv1).
+LENET5: tuple[LayerShape, ...] = (
+    _conv("conv1", 1, 6, 28, 5, padding=2),
+    _conv("conv2", 6, 16, 14, 5),
+    _fc("fc1", 400, 120),
+    _fc("fc2", 120, 84),
+    _fc("fc3", 84, 10),
+)
+
+#: AlexNet's five convolutions and three FC layers (Krizhevsky 2012).
+ALEXNET: tuple[LayerShape, ...] = (
+    _conv("conv1", 3, 96, 227, 11, stride=4),
+    _conv("conv2", 96, 256, 27, 5, padding=2),
+    _conv("conv3", 256, 384, 13, 3, padding=1),
+    _conv("conv4", 384, 384, 13, 3, padding=1),
+    _conv("conv5", 384, 256, 13, 3, padding=1),
+    _fc("fc6", 9216, 4096),
+    _fc("fc7", 4096, 4096),
+    _fc("fc8", 4096, 1000),
+)
+
+#: The distinct convolution shapes of ResNet-18's backbone (He 2016).
+RESNET18_CONV: tuple[LayerShape, ...] = (
+    _conv("conv1", 3, 64, 224, 7, stride=2, padding=3),
+    _conv("layer1", 64, 64, 56, 3, padding=1),
+    _conv("layer2.down", 64, 128, 56, 3, stride=2, padding=1),
+    _conv("layer2", 128, 128, 28, 3, padding=1),
+    _conv("layer3.down", 128, 256, 28, 3, stride=2, padding=1),
+    _conv("layer3", 256, 256, 14, 3, padding=1),
+    _conv("layer4.down", 256, 512, 14, 3, stride=2, padding=1),
+    _conv("layer4", 512, 512, 7, 3, padding=1),
+    _fc("fc", 512, 1000),
+)
+
+#: All networks keyed by name.
+NETWORKS: dict[str, tuple[LayerShape, ...]] = {
+    "lenet5": LENET5,
+    "alexnet": ALEXNET,
+    "resnet18": RESNET18_CONV,
+}

@@ -1,0 +1,41 @@
+"""Tensor-operator lowering and execution on the systolic substrate.
+
+Implements the paper's Sections II-B and II-C: im2col convolution lowering,
+operation tiling, and the tiled GEMM executor, plus golden numpy references.
+
+Public API
+----------
+:class:`~repro.ops.gemm.TiledGemm`
+    Arbitrary-size GEMM on a fixed-size mesh.
+:class:`~repro.ops.conv.SystolicConv2d`
+    Convolution via im2col + tiled GEMM.
+:class:`~repro.ops.tiling.TilingPlan`
+    Pure description of a GEMM decomposition.
+:func:`~repro.ops.reference.reference_gemm` /
+:func:`~repro.ops.reference.reference_conv2d`
+    Golden oracles with hardware wrap semantics.
+"""
+
+from repro.ops.conv import ConvResult, SystolicConv2d
+from repro.ops.gemm import GemmResult, TiledGemm
+from repro.ops.im2col import ConvGeometry, col2im_output, im2col, kernel_to_matrix
+from repro.ops.reference import reference_conv2d, reference_gemm, uniform_ones
+from repro.ops.tiling import TileRange, TilingPlan, plan_gemm_tiling, split_ranges
+
+__all__ = [
+    "TiledGemm",
+    "GemmResult",
+    "SystolicConv2d",
+    "ConvResult",
+    "ConvGeometry",
+    "im2col",
+    "kernel_to_matrix",
+    "col2im_output",
+    "reference_gemm",
+    "reference_conv2d",
+    "uniform_ones",
+    "TilingPlan",
+    "TileRange",
+    "plan_gemm_tiling",
+    "split_ranges",
+]

@@ -1,0 +1,99 @@
+"""Processing element (PE): a MAC unit plus dataflow registers.
+
+A PE wraps one :class:`~repro.systolic.mac.MacUnit` with the pipeline
+registers that realise a dataflow (Fig. 1 of the paper):
+
+* ``a_out`` — operand register forwarding the activation eastwards;
+* ``down_out`` — register forwarding southwards: the second operand in the
+  output-stationary (OS) dataflow, or the partial sum in the
+  weight-stationary (WS) dataflow;
+* ``acc`` — the per-PE accumulator, used by OS;
+* ``weight`` — the stationary operand, used by WS.
+
+The mesh is simulated synchronously with a two-phase (stage/commit) update:
+each cycle every PE reads its neighbours' *committed* outputs, computes, and
+stages its new register values; the mesh then commits all PEs at once. This
+gives exactly the one-cycle-per-hop propagation of the real pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.systolic.mac import MacUnit
+
+__all__ = ["ProcessingElement"]
+
+
+class ProcessingElement:
+    """One cell of the systolic mesh."""
+
+    __slots__ = (
+        "mac",
+        "a_out",
+        "down_out",
+        "acc",
+        "weight",
+        "_next_a_out",
+        "_next_down_out",
+        "_next_acc",
+    )
+
+    def __init__(self, mac: MacUnit) -> None:
+        self.mac = mac
+        self.a_out = 0
+        self.down_out = 0
+        self.acc = 0
+        self.weight = 0
+        self._next_a_out = 0
+        self._next_down_out = 0
+        self._next_acc = 0
+
+    # ------------------------------------------------------------------
+    # Configuration between operations
+    # ------------------------------------------------------------------
+    def reset_state(self) -> None:
+        """Clear all registers (between tile operations)."""
+        self.a_out = 0
+        self.down_out = 0
+        self.acc = 0
+        self.weight = 0
+        self._next_a_out = 0
+        self._next_down_out = 0
+        self._next_acc = 0
+
+    def preload_weight(self, weight: int) -> None:
+        """Load the stationary operand (WS dataflow)."""
+        self.weight = self.mac.input_dtype.wrap(weight)
+
+    def preload_accumulator(self, value: int) -> None:
+        """Initialise the accumulator, e.g. with a bias tile (OS dataflow)."""
+        self.acc = self.mac.acc_dtype.wrap(value)
+
+    # ------------------------------------------------------------------
+    # Cycle update (phase 1: stage)
+    # ------------------------------------------------------------------
+    def stage_output_stationary(self, a_in: int, b_in: int, cycle: int) -> None:
+        """OS step: ``acc += a_in * b_in``; forward both operands.
+
+        The MAC computes every cycle — including cycles where the operand
+        feeds are zero padding — exactly as the hardware does. A stuck-at
+        fault on the adder output therefore re-forces the accumulator on
+        every cycle, which is what makes the final stored value corrupted.
+        """
+        self._next_acc = self.mac.compute(a_in, b_in, self.acc, cycle)
+        self._next_a_out = a_in
+        self._next_down_out = b_in
+
+    def stage_weight_stationary(self, a_in: int, psum_in: int, cycle: int) -> None:
+        """WS step: forward ``psum_in + a_in * weight`` southwards."""
+        self._next_down_out = self.mac.compute(a_in, self.weight, psum_in, cycle)
+        self._next_a_out = a_in
+        self._next_acc = self.acc  # unused by WS but kept coherent
+
+    # ------------------------------------------------------------------
+    # Cycle update (phase 2: commit)
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        """Latch the staged values into the visible registers."""
+        self.a_out = self._next_a_out
+        self.down_out = self._next_down_out
+        self.acc = self._next_acc

@@ -1,0 +1,83 @@
+"""Signal-level observation infrastructure for the cycle simulator.
+
+The paper's FI framework instruments the RTL so that intermediate MAC
+signals can be forced (fault injection) and observed (pattern extraction).
+:mod:`repro.faults` provides the forcing side; this module provides the
+observation side: a :class:`SignalProbe` protocol that receives every driven
+signal value, and small concrete probes used by tests and the trace recorder.
+
+Probing is optional — the hot path of :class:`~repro.systolic.mac.MacUnit`
+skips it entirely when no probe is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+__all__ = ["SignalEvent", "SignalProbe", "RecordingProbe", "CountingProbe"]
+
+
+@dataclass(frozen=True)
+class SignalEvent:
+    """One observed drive of a MAC datapath signal.
+
+    Attributes
+    ----------
+    cycle:
+        Simulation cycle at which the signal was driven.
+    row, col:
+        Coordinates of the MAC that drove it.
+    signal:
+        Signal name (one of :data:`repro.faults.sites.MAC_SIGNALS`).
+    value:
+        The value after fault perturbation — what downstream logic sees.
+    """
+
+    cycle: int
+    row: int
+    col: int
+    signal: str
+    value: int
+
+
+class SignalProbe(Protocol):
+    """Receives signal events from the cycle simulator."""
+
+    def observe(self, event: SignalEvent) -> None:
+        """Called once per driven signal occurrence."""
+        ...
+
+
+@dataclass
+class RecordingProbe:
+    """A probe that stores every event (used by tests and the VCD-lite trace).
+
+    Recording every MAC signal of a full campaign would be enormous; the
+    optional filters restrict recording to one MAC and/or one signal.
+    """
+
+    mac: tuple[int, int] | None = None
+    signal: str | None = None
+    events: list[SignalEvent] = field(default_factory=list)
+
+    def observe(self, event: SignalEvent) -> None:
+        if self.mac is not None and (event.row, event.col) != self.mac:
+            return
+        if self.signal is not None and event.signal != self.signal:
+            return
+        self.events.append(event)
+
+    def values(self) -> list[int]:
+        """The recorded values in drive order."""
+        return [event.value for event in self.events]
+
+
+@dataclass
+class CountingProbe:
+    """A probe that only counts events, for cheap activity statistics."""
+
+    count: int = 0
+
+    def observe(self, event: SignalEvent) -> None:
+        self.count += 1

@@ -1,0 +1,76 @@
+"""Diagonal skew (staggering) of operand streams.
+
+Systolic arrays require operands to arrive at each edge lane with a one-cycle
+stagger per lane so that matching elements meet inside the mesh (the
+triangular "skew registers" in front of a TPU's mesh). This module provides
+that scheduling as a pure function of (lane, cycle).
+
+Two orientations cover every feed used by the OS and WS dataflows:
+
+* ``stream_axis=1`` — lane ``i`` streams row ``i`` of the matrix over time:
+  ``value(i, t) = M[i, t - i]``. Used for the OS activation feed (row ``i``
+  of A enters mesh row ``i``).
+* ``stream_axis=0`` — lane ``j`` streams column ``j`` of the matrix over
+  time: ``value(j, t) = M[t - j, j]``. Used for the OS moving-operand feed
+  (column ``j`` of B enters mesh column ``j``), for the WS activation feed
+  (element ``A[m, i]`` enters mesh row ``i`` at cycle ``m + i``), and for
+  the WS bias feed at the top of the mesh.
+
+Cycles outside the matrix extent yield zero padding, matching the hardware's
+bubble cycles while the pipeline fills and drains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SkewedFeeder"]
+
+
+class SkewedFeeder:
+    """Feeds a 2-D integer matrix into mesh edge lanes with diagonal skew.
+
+    Parameters
+    ----------
+    matrix:
+        The operand matrix (any integer dtype; values are used as-is).
+    stream_axis:
+        0 to stream down columns (lane = column index), 1 to stream across
+        rows (lane = row index). See module docstring for which dataflow
+        feed uses which orientation.
+    """
+
+    def __init__(self, matrix: np.ndarray, stream_axis: int) -> None:
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+        if stream_axis not in (0, 1):
+            raise ValueError(f"stream_axis must be 0 or 1, got {stream_axis}")
+        # Python-int conversion once up front keeps the per-cycle hot path
+        # free of numpy scalar boxing.
+        self._rows: list[list[int]] = [[int(v) for v in row] for row in matrix]
+        self._shape = matrix.shape
+        self._stream_axis = stream_axis
+
+    @property
+    def lanes(self) -> int:
+        """Number of edge lanes this feeder drives."""
+        return self._shape[1] if self._stream_axis == 0 else self._shape[0]
+
+    @property
+    def stream_length(self) -> int:
+        """Number of elements streamed per lane."""
+        return self._shape[0] if self._stream_axis == 0 else self._shape[1]
+
+    def value(self, lane: int, cycle: int) -> int:
+        """Operand entering ``lane`` at ``cycle`` (0 outside the stream)."""
+        index = cycle - lane
+        if index < 0 or index >= self.stream_length:
+            return 0
+        if self._stream_axis == 0:
+            return self._rows[index][lane]
+        return self._rows[lane][index]
+
+    def last_cycle(self) -> int:
+        """The last cycle at which any lane still carries real data."""
+        return (self.lanes - 1) + (self.stream_length - 1)

@@ -1,0 +1,125 @@
+"""Unit tests for spatial statistics and cross-campaign summaries."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spatial import (
+    BoundingBox,
+    bounding_box,
+    col_histogram,
+    patterns_translation_equivalent,
+    per_tile_counts,
+    row_histogram,
+)
+from repro.analysis.stats import summarize, summary_table
+from repro.core.campaign import Campaign, GemmWorkload
+from repro.core.classifier import PatternClass
+from repro.core.fault_patterns import extract_pattern
+from repro.ops.tiling import plan_gemm_tiling
+from repro.systolic import Dataflow, MeshConfig
+
+MESH = MeshConfig(4, 4)
+
+
+def _pattern(mask, m=None, n=None, dataflow=Dataflow.WEIGHT_STATIONARY):
+    m = m or mask.shape[0]
+    n = n or mask.shape[1]
+    plan = plan_gemm_tiling(m, 4, n, MESH, dataflow)
+    return extract_pattern(
+        np.zeros(mask.shape, np.int64), np.where(mask, 1, 0), plan=plan
+    )
+
+
+class TestBoundingBox:
+    def test_masked_pattern_has_no_box(self):
+        assert bounding_box(_pattern(np.zeros((4, 4), bool))) is None
+
+    def test_column_box(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[:, 2] = True
+        box = bounding_box(_pattern(mask))
+        assert box == BoundingBox(top=0, left=2, bottom=3, right=2)
+        assert box.height == 4 and box.width == 1 and box.area == 4
+
+
+class TestHistograms:
+    def test_row_and_col_histograms(self):
+        mask = np.zeros((3, 4), dtype=bool)
+        mask[0, 1] = mask[2, 1] = mask[2, 3] = True
+        pattern = _pattern(mask)
+        assert row_histogram(pattern).tolist() == [1, 0, 2]
+        assert col_histogram(pattern).tolist() == [0, 2, 0, 1]
+
+
+class TestPerTileCounts:
+    def test_tiled_column_counts(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[:, 1] = True
+        mask[:, 5] = True
+        counts = per_tile_counts(_pattern(mask))
+        assert counts.shape == (2, 2)
+        assert np.all(counts == 4)
+
+    def test_requires_plan(self):
+        pattern = extract_pattern(np.zeros((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            per_tile_counts(pattern)
+
+
+class TestTranslationSymmetry:
+    def test_column_shift(self):
+        a = np.zeros((4, 4), dtype=bool)
+        b = np.zeros((4, 4), dtype=bool)
+        a[:, 1] = True
+        b[:, 3] = True
+        assert patterns_translation_equivalent(
+            _pattern(a), _pattern(b), row_shift=0, col_shift=2
+        )
+        assert not patterns_translation_equivalent(
+            _pattern(a), _pattern(b), row_shift=0, col_shift=1
+        )
+
+    def test_campaign_patterns_are_translations(self):
+        """The paper's symmetry claim, verified on real campaign output."""
+        result = Campaign(
+            MESH, GemmWorkload.square(4, Dataflow.OUTPUT_STATIONARY)
+        ).run()
+        base = result.result_at(0, 0).pattern
+        for experiment in result.experiments:
+            assert patterns_translation_equivalent(
+                base,
+                experiment.pattern,
+                row_shift=experiment.site.row,
+                col_shift=experiment.site.col,
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            patterns_translation_equivalent(
+                _pattern(np.zeros((4, 4), bool)),
+                _pattern(np.zeros((2, 4), bool)),
+                0,
+                0,
+            )
+
+
+class TestSummaries:
+    def test_summarize_fields(self):
+        result = Campaign(
+            MESH, GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY)
+        ).run()
+        summary = summarize("ws-16", result)
+        assert summary.name == "ws-16"
+        assert summary.experiments == 16
+        assert summary.dominant_class is PatternClass.SINGLE_COLUMN
+        assert summary.single_class
+        assert summary.sdc_rate == 1.0
+
+    def test_summary_table_renders_all_rows(self):
+        campaigns = {
+            str(df): Campaign(MESH, GemmWorkload.square(4, df)).run()
+            for df in Dataflow
+        }
+        table = summary_table(campaigns)
+        assert "OS" in table and "WS" in table
+        assert "single-element" in table and "single-column" in table

@@ -1,0 +1,98 @@
+"""Unit tests for ASCII fault-map rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.visualize import (
+    render_conv_pattern,
+    render_gemm_pattern,
+    render_mac_liveness,
+    render_mask,
+)
+from repro.core.campaign import Campaign, ConvWorkload, GemmWorkload
+from repro.systolic import Dataflow, MeshConfig
+
+MESH = MeshConfig(4, 4)
+
+
+class TestRenderMask:
+    def test_basic_glyphs(self):
+        mask = np.array([[True, False], [False, True]])
+        assert render_mask(mask) == "#.\n.#"
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            render_mask(np.zeros(4, dtype=bool))
+
+
+class TestRenderGemm:
+    def test_untiled_column(self):
+        result = Campaign(
+            MESH, GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY),
+            sites=[(0, 2)],
+        ).run()
+        text = render_gemm_pattern(result.experiments[0].pattern)
+        assert text.splitlines() == ["..#."] * 4
+
+    def test_tile_rules_drawn(self):
+        result = Campaign(
+            MESH, GemmWorkload.square(8, Dataflow.OUTPUT_STATIONARY),
+            sites=[(1, 1)],
+        ).run()
+        text = render_gemm_pattern(result.experiments[0].pattern)
+        lines = text.splitlines()
+        assert "----" in lines[4]  # horizontal tile rule after 4 rows
+        assert all("|" in line for line in lines if "-" not in line)
+        # Corrupted local element appears in all four tiles.
+        assert text.count("#") == 4
+
+    def test_without_plan_falls_back_to_plain(self):
+        from repro.core.fault_patterns import extract_pattern
+
+        pattern = extract_pattern(np.zeros((2, 2)), np.eye(2))
+        assert render_gemm_pattern(pattern) == "#.\n.#"
+
+
+class TestRenderMacLiveness:
+    def test_conv_lights_up_live_columns_only(self):
+        result = Campaign(
+            MESH, ConvWorkload.paper_kernel(6, (3, 3, 2, 3))
+        ).run()
+        lines = render_mac_liveness(result).splitlines()
+        assert lines == ["###."] * 4  # K=3 of 4 columns live
+
+    def test_partial_sweep_leaves_blanks(self):
+        result = Campaign(
+            MESH, GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY),
+            sites=[(0, 0), (1, 1)],
+        ).run()
+        lines = render_mac_liveness(result).splitlines()
+        assert lines[0][0] == "#"
+        assert lines[1][1] == "#"
+        assert lines[2][2] == " "
+
+
+class TestRenderConv:
+    def test_channel_blocks(self):
+        result = Campaign(
+            MESH, ConvWorkload.paper_kernel(6, (3, 3, 2, 3)), sites=[(0, 1)]
+        ).run()
+        text = render_conv_pattern(result.experiments[0].pattern)
+        assert "channel 0" in text
+        assert "channel 1  <-- corrupted" in text
+        assert "channel 2" in text
+
+    def test_requires_conv_pattern(self):
+        result = Campaign(
+            MESH, GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY),
+            sites=[(0, 0)],
+        ).run()
+        with pytest.raises(ValueError):
+            render_conv_pattern(result.experiments[0].pattern)
+
+    def test_batch_bounds_checked(self):
+        result = Campaign(
+            MESH, ConvWorkload.paper_kernel(6, (3, 3, 2, 3)), sites=[(0, 0)]
+        ).run()
+        with pytest.raises(ValueError):
+            render_conv_pattern(result.experiments[0].pattern, batch=5)

@@ -1,0 +1,94 @@
+"""Unit tests for the application-level injector and the model hooks."""
+
+import numpy as np
+import pytest
+
+from repro.appfi.hooks import attach_permanent_fault, detach_faults
+from repro.appfi.injector import AppLevelInjector
+from repro.core.classifier import PatternClass
+from repro.faults.sites import FaultSite
+from repro.nn import build_dense_classifier, make_digits
+from repro.ops.im2col import ConvGeometry
+from repro.systolic import Dataflow, MeshConfig
+
+MESH = MeshConfig(4, 4)
+
+
+class TestInjectGemm:
+    def test_fixed_site_corrupts_column(self):
+        injector = AppLevelInjector(MESH, Dataflow.WEIGHT_STATIONARY, bit=10)
+        output = np.zeros((4, 4), dtype=np.int64)
+        corrupted = injector.inject_gemm(output, k=4, site=FaultSite(0, 2))
+        assert np.all(corrupted[:, 2] == 1024)
+        assert np.all(corrupted[:, [0, 1, 3]] == 0)
+
+    def test_random_site_recorded(self):
+        injector = AppLevelInjector(MESH, seed=42)
+        injector.inject_gemm(np.zeros((4, 4), dtype=np.int64), k=4)
+        record = injector.last
+        assert 0 <= record.site.row < 4
+        assert record.pattern.pattern_class in (
+            PatternClass.SINGLE_COLUMN,
+            PatternClass.MASKED,
+        )
+
+    def test_history_accumulates(self):
+        injector = AppLevelInjector(MESH)
+        for _ in range(3):
+            injector.inject_gemm(np.zeros((4, 4), dtype=np.int64), k=4)
+        assert len(injector.history) == 3
+
+    def test_non_2d_rejected(self):
+        injector = AppLevelInjector(MESH)
+        with pytest.raises(ValueError):
+            injector.inject_gemm(np.zeros((2, 2, 2)), k=2)
+
+    def test_last_requires_history(self):
+        with pytest.raises(RuntimeError):
+            _ = AppLevelInjector(MESH).last
+
+
+class TestInjectConv:
+    def test_channel_corruption(self):
+        g = ConvGeometry(n=1, c=1, h=5, w=5, k=3, r=2, s=2)
+        injector = AppLevelInjector(MESH, bit=8)
+        output = np.zeros((1, 3, 4, 4), dtype=np.int64)
+        corrupted = injector.inject_conv(output, g, site=FaultSite(1, 1))
+        assert np.all(corrupted[0, 1] == 256)
+        assert np.all(corrupted[0, [0, 2]] == 0)
+        assert injector.last.cells_corrupted == 16
+
+    def test_geometry_shape_checked(self):
+        g = ConvGeometry(n=1, c=1, h=5, w=5, k=3, r=2, s=2)
+        injector = AppLevelInjector(MESH)
+        with pytest.raises(ValueError):
+            injector.inject_conv(np.zeros((1, 2, 4, 4)), g)
+
+
+class TestModelHooks:
+    def test_attach_degrades_and_detach_restores(self):
+        x, y = make_digits(120, noise=0.03, seed=9)
+        model = build_dense_classifier()
+        baseline = model.evaluate(x, y)
+        assert baseline > 0.8
+
+        injector = attach_permanent_fault(
+            model, MeshConfig(16, 16), FaultSite(0, 3), bit=28
+        )
+        degraded = model.evaluate(x, y)
+        assert degraded < baseline
+        assert injector.history  # every Dense call was corrupted
+
+        detach_faults(model)
+        assert model.evaluate(x, y) == baseline
+
+    def test_every_compute_op_is_corrupted(self):
+        x, y = make_digits(10, noise=0.0, seed=1)
+        model = build_dense_classifier()
+        injector = attach_permanent_fault(
+            model, MeshConfig(16, 16), FaultSite(2, 2), bit=28
+        )
+        model.predict(x)
+        # One Dense layer, one batch: exactly one injection record.
+        assert len(injector.history) == 1
+        assert injector.history[0].site == FaultSite(2, 2)

@@ -1,0 +1,96 @@
+"""Unit tests for on-the-fly pattern derivation (the HardwareModel)."""
+
+import numpy as np
+import pytest
+
+from repro.appfi.runtime_patterns import HardwareModel
+from repro.core.classifier import PatternClass
+from repro.faults.sites import FaultSite
+from repro.ops.im2col import ConvGeometry
+from repro.systolic import Dataflow, MeshConfig
+
+
+class TestDerivation:
+    def test_ws_gemm_column(self):
+        model = HardwareModel(MeshConfig(4, 4), Dataflow.WEIGHT_STATIONARY)
+        derived = model.derive_gemm(4, 4, 4, FaultSite(0, 2))
+        assert derived.pattern_class is PatternClass.SINGLE_COLUMN
+        assert derived.gemm_support[:, 2].all()
+
+    def test_os_gemm_element(self):
+        model = HardwareModel(MeshConfig(4, 4), Dataflow.OUTPUT_STATIONARY)
+        derived = model.derive_gemm(4, 4, 4, FaultSite(1, 3))
+        assert derived.pattern_class is PatternClass.SINGLE_ELEMENT
+
+    def test_conv_channels(self):
+        g = ConvGeometry(n=1, c=2, h=6, w=6, k=6, r=3, s=3)
+        model = HardwareModel(MeshConfig(4, 4), Dataflow.WEIGHT_STATIONARY)
+        derived = model.derive_conv(g, FaultSite(0, 1))
+        assert derived.pattern_class is PatternClass.MULTI_CHANNEL
+        support = derived.conv_support()
+        assert support.shape == (1, 6, 4, 4)
+        assert support[:, 1].all() and support[:, 5].all()
+
+    def test_conv_support_requires_geometry(self):
+        model = HardwareModel(MeshConfig(4, 4), Dataflow.WEIGHT_STATIONARY)
+        derived = model.derive_gemm(4, 4, 4, FaultSite(0, 0))
+        with pytest.raises(ValueError):
+            derived.conv_support()
+
+    def test_large_mesh_is_cheap(self):
+        """The paper's scalability argument: 128x128 needs no synthesis."""
+        model = HardwareModel(MeshConfig(128, 128), Dataflow.WEIGHT_STATIONARY)
+        derived = model.derive_gemm(256, 256, 256, FaultSite(100, 77))
+        assert derived.pattern_class is PatternClass.SINGLE_COLUMN_MULTI_TILE
+        assert derived.gemm_support[:, 77].all()
+        assert derived.gemm_support[:, 205].all()
+
+    def test_random_site_within_mesh(self):
+        model = HardwareModel(MeshConfig(8, 8), Dataflow.WEIGHT_STATIONARY)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            site = model.random_site(rng)
+            assert 0 <= site.row < 8 and 0 <= site.col < 8
+
+
+class TestCorruption:
+    def test_stuck1_sets_bit_on_support_only(self):
+        tensor = np.zeros((3, 3), dtype=np.int64)
+        support = np.zeros((3, 3), dtype=bool)
+        support[:, 1] = True
+        out = HardwareModel.corrupt(tensor, support, bit=4, mode="stuck1")
+        assert np.all(out[:, 1] == 16)
+        assert np.all(out[:, [0, 2]] == 0)
+        assert np.all(tensor == 0)  # input untouched
+
+    def test_stuck0_clears_bit(self):
+        tensor = np.full((2, 2), 16, dtype=np.int64)
+        support = np.ones((2, 2), dtype=bool)
+        out = HardwareModel.corrupt(tensor, support, bit=4, mode="stuck0")
+        assert np.all(out == 0)
+
+    def test_flip_inverts(self):
+        tensor = np.array([[0, 16]], dtype=np.int64)
+        support = np.ones((1, 2), dtype=bool)
+        out = HardwareModel.corrupt(tensor, support, bit=4, mode="flip")
+        assert out.tolist() == [[16, 0]]
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareModel.corrupt(
+                np.zeros((1, 1)), np.ones((1, 1), bool), bit=0, mode="zap"
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareModel.corrupt(
+                np.zeros((2, 2)), np.ones((1, 1), bool), bit=0
+            )
+
+    def test_works_on_4d_tensors(self):
+        tensor = np.zeros((1, 2, 2, 2), dtype=np.int64)
+        support = np.zeros((1, 2, 2, 2), dtype=bool)
+        support[0, 1] = True
+        out = HardwareModel.corrupt(tensor, support, bit=3, mode="stuck1")
+        assert np.all(out[0, 1] == 8)
+        assert np.all(out[0, 0] == 0)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite.
+
+Small meshes keep the cycle-accurate tests fast while exercising every
+structural case (square/rectangular, tiled/untiled); the paper-sized 16x16
+mesh is reserved for the integration tests that reproduce the published
+claims directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjector, FaultSite, StuckAtFault
+from repro.systolic import MeshConfig
+
+
+@pytest.fixture
+def mesh4() -> MeshConfig:
+    """A 4x4 mesh — the default unit-test substrate."""
+    return MeshConfig(rows=4, cols=4)
+
+
+@pytest.fixture
+def mesh6() -> MeshConfig:
+    """A 6x6 mesh for tests needing a bit more room."""
+    return MeshConfig(rows=6, cols=6)
+
+
+@pytest.fixture
+def mesh_rect() -> MeshConfig:
+    """A rectangular 3x5 mesh to catch rows/cols mix-ups."""
+    return MeshConfig(rows=3, cols=5)
+
+
+@pytest.fixture
+def mesh16() -> MeshConfig:
+    """The paper's 16x16 configuration."""
+    return MeshConfig.paper()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG shared by randomised (non-hypothesis) tests."""
+    return np.random.default_rng(20230628)
+
+
+def stuck_at(row: int, col: int, signal: str = "sum", bit: int = 20,
+             value: int = 1) -> FaultInjector:
+    """Convenience SSF injector used across test modules."""
+    return FaultInjector.single_stuck_at(
+        FaultSite(row=row, col=col, signal=signal, bit=bit), value
+    )

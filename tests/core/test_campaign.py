@@ -1,0 +1,193 @@
+"""Unit tests for the FI campaign framework."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import (
+    Campaign,
+    ConvWorkload,
+    FaultSpec,
+    FillKind,
+    GemmWorkload,
+    OperationType,
+)
+from repro.core.classifier import PatternClass
+from repro.faults.model import FaultSet, StuckAtFault
+from repro.faults.sites import FaultSite
+from repro.systolic import Dataflow, MeshConfig
+
+
+class TestWorkloads:
+    def test_gemm_square_factory(self):
+        wl = GemmWorkload.square(16, Dataflow.WEIGHT_STATIONARY)
+        assert (wl.m, wl.k, wl.n) == (16, 16, 16)
+        assert wl.operation is OperationType.GEMM
+        assert "GEMM 16x16x16" in wl.describe()
+
+    def test_gemm_operands_deterministic(self):
+        wl = GemmWorkload(3, 4, 5, Dataflow.OUTPUT_STATIONARY,
+                          fill=FillKind.RANDOM, seed=7)
+        a1, b1 = wl.operands()
+        a2, b2 = wl.operands()
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
+        assert a1.shape == (3, 4) and b1.shape == (4, 5)
+
+    def test_ones_fill(self):
+        wl = GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY)
+        a, b = wl.operands()
+        assert np.all(a == 1) and np.all(b == 1)
+
+    def test_ramp_fill_nonzero(self):
+        wl = GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY,
+                                 fill=FillKind.RAMP)
+        a, _ = wl.operands()
+        assert np.all(a > 0)
+
+    def test_conv_paper_kernel_factory(self):
+        wl = ConvWorkload.paper_kernel(16, (3, 3, 3, 8))
+        assert wl.kernel_spec == (3, 3, 3, 8)
+        assert wl.operation is OperationType.CONV
+        assert "3x3x3x8" in wl.describe()
+
+    def test_conv_operand_shapes(self):
+        wl = ConvWorkload.paper_kernel(8, (3, 3, 2, 5))
+        x, w = wl.operands()
+        assert x.shape == (1, 2, 8, 8)
+        assert w.shape == (5, 2, 3, 3)
+
+
+class TestFaultSpec:
+    def test_defaults_to_paper_signal(self):
+        spec = FaultSpec()
+        assert spec.signal == "sum"
+        fault = spec.fault_at(2, 3)
+        assert fault.site == FaultSite(2, 3, "sum", spec.bit)
+        assert fault.stuck_value == spec.stuck_value
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(bit=32)
+        with pytest.raises(ValueError):
+            FaultSpec(stuck_value=7)
+
+    def test_describe(self):
+        assert FaultSpec(bit=9, stuck_value=0).describe() == "stuck-at-0 @ sum[9]"
+
+
+class TestCampaignExecution:
+    def test_exhaustive_site_count(self, mesh4):
+        campaign = Campaign(mesh4, GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY))
+        result = campaign.run()
+        assert len(result.experiments) == 16
+        sites = {(e.site.row, e.site.col) for e in result.experiments}
+        assert len(sites) == 16
+
+    def test_custom_sites(self, mesh4):
+        campaign = Campaign(
+            mesh4,
+            GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY),
+            sites=[(0, 0), (3, 3)],
+        )
+        result = campaign.run()
+        assert len(result.experiments) == 2
+
+    def test_result_at(self, mesh4):
+        result = Campaign(
+            mesh4, GemmWorkload.square(4, Dataflow.OUTPUT_STATIONARY)
+        ).run()
+        experiment = result.result_at(2, 1)
+        assert (experiment.site.row, experiment.site.col) == (2, 1)
+        with pytest.raises(KeyError):
+            Campaign(
+                mesh4,
+                GemmWorkload.square(4, Dataflow.OUTPUT_STATIONARY),
+                sites=[(0, 0)],
+            ).run().result_at(1, 1)
+
+    def test_keep_patterns_flag(self, mesh4):
+        wl = GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY)
+        with_patterns = Campaign(mesh4, wl, sites=[(0, 0)]).run()
+        without = Campaign(mesh4, wl, sites=[(0, 0)], keep_patterns=False).run()
+        assert with_patterns.experiments[0].pattern is not None
+        assert without.experiments[0].pattern is None
+        # Classification survives either way.
+        assert (
+            without.experiments[0].pattern_class
+            is with_patterns.experiments[0].pattern_class
+        )
+
+    def test_engines_agree(self, mesh4):
+        wl = GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY,
+                                 fill=FillKind.RANDOM)
+        fast = Campaign(mesh4, wl, engine="functional").run()
+        slow = Campaign(mesh4, wl, engine="cycle").run()
+        for e_fast, e_slow in zip(fast.experiments, slow.experiments):
+            assert e_fast.pattern_class is e_slow.pattern_class
+            assert e_fast.num_corrupted == e_slow.num_corrupted
+
+    def test_invalid_engine_rejected(self, mesh4):
+        with pytest.raises(ValueError):
+            Campaign(
+                mesh4,
+                GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY),
+                engine="fpga",
+            )
+
+    def test_run_single_accepts_fault_set(self, mesh4):
+        campaign = Campaign(mesh4, GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY))
+        faults = FaultSet.of(
+            StuckAtFault(site=FaultSite(0, 0, "sum", 20)),
+            StuckAtFault(site=FaultSite(1, 3, "sum", 20)),
+        )
+        output, plan, geometry = campaign.run_single(faults)
+        assert output.shape == (4, 4)
+        assert geometry is None
+
+
+class TestCampaignReductions:
+    def test_ws_reductions(self, mesh4):
+        result = Campaign(
+            mesh4, GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY)
+        ).run()
+        assert result.dominant_class() is PatternClass.SINGLE_COLUMN
+        assert result.is_single_class()
+        assert result.sdc_rate() == 1.0
+        assert result.masking_rate() == 0.0
+        assert result.mean_corrupted_cells() == 4.0  # one full column of 4
+
+    def test_os_reductions(self, mesh4):
+        result = Campaign(
+            mesh4, GemmWorkload.square(4, Dataflow.OUTPUT_STATIONARY)
+        ).run()
+        assert result.dominant_class() is PatternClass.SINGLE_ELEMENT
+        assert result.mean_corrupted_cells() == 1.0
+
+    def test_census_sums_to_experiment_count(self, mesh4):
+        result = Campaign(
+            mesh4, GemmWorkload.square(4, Dataflow.OUTPUT_STATIONARY)
+        ).run()
+        assert sum(result.census().values()) == len(result.experiments)
+
+    def test_partially_used_mesh_has_masked_experiments(self, mesh4):
+        # A 2x2 OS workload uses only the top-left 2x2 PEs of the 4x4 mesh.
+        result = Campaign(
+            mesh4, GemmWorkload.square(2, Dataflow.OUTPUT_STATIONARY)
+        ).run()
+        census = result.census()
+        assert census[PatternClass.MASKED] == 12
+        assert census[PatternClass.SINGLE_ELEMENT] == 4
+        assert result.dominant_class() is PatternClass.SINGLE_ELEMENT
+        assert result.is_single_class()
+
+    def test_conv_campaign(self, mesh4):
+        result = Campaign(mesh4, ConvWorkload.paper_kernel(6, (3, 3, 2, 3))).run()
+        assert result.dominant_class() is PatternClass.SINGLE_CHANNEL
+        assert result.geometry is not None
+
+    def test_wall_time_recorded(self, mesh4):
+        result = Campaign(
+            mesh4,
+            GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY),
+            sites=[(0, 0)],
+        ).run()
+        assert result.wall_seconds > 0

@@ -1,0 +1,145 @@
+"""Unit tests for the six-class fault-pattern taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import PatternClass, classify_pattern
+from repro.core.fault_patterns import extract_pattern
+from repro.ops.im2col import ConvGeometry
+from repro.ops.tiling import plan_gemm_tiling
+from repro.systolic import Dataflow, MeshConfig
+
+MESH = MeshConfig(4, 4)
+
+
+def classify_gemm(mask: np.ndarray, m, k, n, dataflow=Dataflow.WEIGHT_STATIONARY):
+    golden = np.zeros(mask.shape, dtype=np.int64)
+    faulty = np.where(mask, 1, 0)
+    plan = plan_gemm_tiling(m, k, n, MESH, dataflow)
+    return classify_pattern(extract_pattern(golden, faulty, plan=plan))
+
+
+class TestGemmClasses:
+    def test_masked(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        assert classify_gemm(mask, 4, 4, 4).pattern_class is PatternClass.MASKED
+
+    def test_single_element(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 2] = True
+        result = classify_gemm(mask, 4, 4, 4)
+        assert result.pattern_class is PatternClass.SINGLE_ELEMENT
+        assert result.local_cells == ((1, 2),)
+        assert result.corrupted_tiles == ((0, 0),)
+
+    def test_single_element_multi_tile(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        for r in (1, 5):
+            for c in (2, 6):
+                mask[r, c] = True
+        result = classify_gemm(mask, 8, 8, 8, Dataflow.OUTPUT_STATIONARY)
+        assert result.pattern_class is PatternClass.SINGLE_ELEMENT_MULTI_TILE
+        assert result.local_cells == ((1, 2),)
+        assert len(result.corrupted_tiles) == 4
+
+    def test_single_column(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[:, 3] = True
+        assert (
+            classify_gemm(mask, 4, 4, 4).pattern_class
+            is PatternClass.SINGLE_COLUMN
+        )
+
+    def test_partial_column_is_still_single_column(self):
+        # Data masking can hide some rows; structure is still one column.
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 3] = mask[2, 3] = True
+        assert (
+            classify_gemm(mask, 4, 4, 4).pattern_class
+            is PatternClass.SINGLE_COLUMN
+        )
+
+    def test_single_column_multi_tile(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[:, 1] = True
+        mask[:, 5] = True
+        assert (
+            classify_gemm(mask, 8, 8, 8).pattern_class
+            is PatternClass.SINGLE_COLUMN_MULTI_TILE
+        )
+
+    def test_row_corruption_is_single_row(self):
+        # The IS dataflow's signature (extension beyond the paper's six).
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[2, :] = True
+        assert (
+            classify_gemm(mask, 4, 4, 4).pattern_class
+            is PatternClass.SINGLE_ROW
+        )
+
+    def test_multi_tile_row_corruption(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[2, :] = True
+        mask[6, :] = True
+        assert (
+            classify_gemm(mask, 8, 8, 8).pattern_class
+            is PatternClass.SINGLE_ROW_MULTI_TILE
+        )
+
+    def test_diagonal_is_other(self):
+        # No SSF produces a diagonal; the taxonomy must not absorb it.
+        mask = np.eye(4, dtype=bool)
+        assert classify_gemm(mask, 4, 4, 4).pattern_class is PatternClass.OTHER
+
+    def test_two_unrelated_columns_is_other(self):
+        # Columns 1 and 2 have different local offsets: outside taxonomy.
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[:, 1] = True
+        mask[:, 2] = True
+        assert classify_gemm(mask, 4, 4, 4).pattern_class is PatternClass.OTHER
+
+    def test_plan_required(self):
+        pattern = extract_pattern(np.zeros((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            classify_pattern(pattern)
+
+
+class TestConvClasses:
+    def _classify(self, corrupt_channels):
+        g = ConvGeometry(n=1, c=1, h=5, w=5, k=4, r=2, s=2)
+        golden = np.zeros((1, 4, 4, 4), dtype=np.int64)
+        faulty = golden.copy()
+        for ch in corrupt_channels:
+            faulty[0, ch] = 1
+        plan = plan_gemm_tiling(g.gemm_m, g.gemm_k, g.gemm_n, MESH,
+                                Dataflow.WEIGHT_STATIONARY)
+        return classify_pattern(
+            extract_pattern(golden, faulty, plan=plan, geometry=g)
+        )
+
+    def test_masked(self):
+        assert self._classify([]).pattern_class is PatternClass.MASKED
+
+    def test_single_channel(self):
+        result = self._classify([2])
+        assert result.pattern_class is PatternClass.SINGLE_CHANNEL
+        assert result.corrupted_channels == (2,)
+
+    def test_multi_channel(self):
+        result = self._classify([0, 3])
+        assert result.pattern_class is PatternClass.MULTI_CHANNEL
+        assert result.corrupted_channels == (0, 3)
+
+
+class TestEnum:
+    def test_string_names_match_paper(self):
+        assert str(PatternClass.SINGLE_ELEMENT) == "single-element"
+        assert str(PatternClass.SINGLE_COLUMN_MULTI_TILE) == (
+            "single-column multi-tile"
+        )
+        assert str(PatternClass.MULTI_CHANNEL) == "multi-channel"
+
+    def test_ten_classes_total(self):
+        # Six paper classes + MASKED + OTHER + the two IS extension
+        # classes (single-row and its multi-tile form).
+        assert len(PatternClass) == 10

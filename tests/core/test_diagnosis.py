@@ -1,0 +1,106 @@
+"""Unit tests for fault diagnosis (the inverse predictor)."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import Campaign, ConvWorkload, GemmWorkload
+from repro.core.classifier import PatternClass
+from repro.core.diagnosis import diagnose
+from repro.core.fault_patterns import extract_pattern
+from repro.ops.tiling import plan_gemm_tiling
+from repro.systolic import Dataflow, MeshConfig
+
+MESH = MeshConfig(4, 4)
+
+
+def _pattern(mask, dataflow=Dataflow.WEIGHT_STATIONARY):
+    plan = plan_gemm_tiling(
+        mask.shape[0], 4, mask.shape[1], MESH, dataflow
+    )
+    return extract_pattern(
+        np.zeros(mask.shape, np.int64), np.where(mask, 1, 0), plan=plan
+    )
+
+
+class TestOsDiagnosis:
+    def test_single_element_pins_the_mac(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 3] = True
+        result = diagnose(_pattern(mask, Dataflow.OUTPUT_STATIONARY), MESH)
+        assert result.exact
+        assert result.candidate_macs == ((1, 3),)
+
+    def test_multi_tile_pins_the_mac(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        for r in (1, 5):
+            for c in (3, 7):
+                mask[r, c] = True
+        result = diagnose(_pattern(mask, Dataflow.OUTPUT_STATIONARY), MESH)
+        assert result.exact
+        assert result.candidate_macs == ((1, 3),)
+
+
+class TestWsDiagnosis:
+    def test_column_yields_one_column_of_candidates(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[:, 2] = True
+        result = diagnose(_pattern(mask), MESH)
+        assert not result.exact
+        assert result.candidate_macs == tuple((r, 2) for r in range(4))
+        assert result.num_candidates == 4
+
+    def test_partial_column_still_diagnosable(self):
+        # Data masking hid two rows; the column is still identified.
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 2] = mask[3, 2] = True
+        result = diagnose(_pattern(mask), MESH)
+        assert all(col == 2 for _, col in result.candidate_macs)
+
+
+class TestSpecialCases:
+    def test_masked_pattern_is_uninformative(self):
+        result = diagnose(_pattern(np.zeros((4, 4), dtype=bool)), MESH)
+        assert result.pattern_class is PatternClass.MASKED
+        assert result.candidate_macs == ()
+
+    def test_other_pattern_has_no_single_fault_explanation(self):
+        mask = np.eye(4, dtype=bool)
+        result = diagnose(_pattern(mask), MESH)
+        assert result.pattern_class is PatternClass.OTHER
+        assert result.candidate_macs == ()
+
+    def test_requires_plan(self):
+        pattern = extract_pattern(np.zeros((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            diagnose(pattern, MESH)
+
+
+class TestAgainstCampaigns:
+    @pytest.mark.parametrize("dataflow", list(Dataflow))
+    @pytest.mark.parametrize("size", [4, 8])
+    def test_true_site_always_among_candidates(self, dataflow, size):
+        result = Campaign(MESH, GemmWorkload.square(size, dataflow)).run()
+        for experiment in result.experiments:
+            diagnosis = diagnose(experiment.pattern, MESH)
+            assert diagnosis.contains(
+                experiment.site.row, experiment.site.col
+            ), experiment.site
+
+    def test_os_diagnosis_is_exact_for_all_sites(self):
+        result = Campaign(
+            MESH, GemmWorkload.square(4, Dataflow.OUTPUT_STATIONARY)
+        ).run()
+        for experiment in result.experiments:
+            diagnosis = diagnose(experiment.pattern, MESH)
+            assert diagnosis.exact
+            assert diagnosis.candidate_macs == (
+                (experiment.site.row, experiment.site.col),
+            )
+
+    def test_conv_diagnosis_pins_the_column(self):
+        result = Campaign(
+            MESH, ConvWorkload.paper_kernel(6, (3, 3, 2, 3)), sites=[(1, 2)]
+        ).run()
+        diagnosis = diagnose(result.experiments[0].pattern, MESH)
+        assert all(col == 2 for _, col in diagnosis.candidate_macs)
+        assert diagnosis.contains(1, 2)

@@ -1,0 +1,145 @@
+"""Unit tests for campaign reliability metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import Campaign, GemmWorkload
+from repro.core.classifier import PatternClass
+from repro.core.fault_patterns import extract_pattern
+from repro.core.metrics import (
+    CellStats,
+    class_census,
+    corrupted_cell_stats,
+    fault_tolerance_ranking,
+    masking_rate,
+    msf_coverage_by_ssf,
+    pattern_jaccard,
+    sdc_rate,
+    support_covers,
+)
+from repro.ops.tiling import plan_gemm_tiling
+from repro.systolic import Dataflow, MeshConfig
+
+MESH = MeshConfig(4, 4)
+
+
+def _pattern(mask):
+    golden = np.zeros(mask.shape, dtype=np.int64)
+    plan = plan_gemm_tiling(
+        mask.shape[0], 4, mask.shape[1], MESH, Dataflow.WEIGHT_STATIONARY
+    )
+    return extract_pattern(golden, np.where(mask, 1, 0), plan=plan)
+
+
+@pytest.fixture(scope="module")
+def campaigns():
+    return {
+        str(dataflow): Campaign(MESH, GemmWorkload.square(4, dataflow)).run()
+        for dataflow in Dataflow
+    }
+
+
+class TestRates:
+    def test_sdc_and_masking_are_complements(self, campaigns):
+        for result in campaigns.values():
+            experiments = result.experiments
+            assert sdc_rate(experiments) + masking_rate(experiments) == 1.0
+
+    def test_empty_experiments(self):
+        assert sdc_rate([]) == 0.0
+        assert masking_rate([]) == 1.0
+
+    def test_census_matches_campaign(self, campaigns):
+        result = campaigns["WS"]
+        assert class_census(result.experiments) == result.census()
+
+
+class TestCellStats:
+    def test_ws_stats(self, campaigns):
+        stats = corrupted_cell_stats(campaigns["WS"].experiments)
+        assert stats == CellStats(mean=4.0, maximum=4, minimum=4, total=64)
+
+    def test_os_stats(self, campaigns):
+        stats = corrupted_cell_stats(campaigns["OS"].experiments)
+        assert stats.mean == 1.0
+        assert stats.total == 16
+
+    def test_empty(self):
+        assert corrupted_cell_stats([]).total == 0
+
+
+class TestRanking:
+    def test_os_more_fault_tolerant_than_ws_and_is(self, campaigns):
+        ranking = fault_tolerance_ranking(campaigns)
+        # OS corrupts one cell per fault; WS a full column; IS a full row
+        # (same volume as WS on a square output) — OS ranks first.
+        assert ranking[0][0] == "OS"
+        assert ranking[0][1] < ranking[1][1]
+        by_name = dict(ranking)
+        assert by_name["WS"] == by_name["IS"] == 4.0
+
+
+class TestPatternOverlap:
+    def test_jaccard_identical(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[:, 1] = True
+        assert pattern_jaccard(_pattern(mask), _pattern(mask)) == 1.0
+
+    def test_jaccard_disjoint(self):
+        a = np.zeros((4, 4), dtype=bool)
+        b = np.zeros((4, 4), dtype=bool)
+        a[:, 0] = True
+        b[:, 2] = True
+        assert pattern_jaccard(_pattern(a), _pattern(b)) == 0.0
+
+    def test_jaccard_partial(self):
+        a = np.zeros((4, 4), dtype=bool)
+        b = np.zeros((4, 4), dtype=bool)
+        a[0, 0] = a[1, 0] = True
+        b[1, 0] = b[2, 0] = True
+        assert pattern_jaccard(_pattern(a), _pattern(b)) == pytest.approx(1 / 3)
+
+    def test_jaccard_both_empty(self):
+        empty = np.zeros((4, 4), dtype=bool)
+        assert pattern_jaccard(_pattern(empty), _pattern(empty)) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pattern_jaccard(
+                _pattern(np.zeros((4, 4), bool)), _pattern(np.zeros((2, 4), bool))
+            )
+
+
+class TestCoverage:
+    def test_support_covers(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 1] = True
+        pattern = _pattern(mask)
+        cover = np.zeros((4, 4), dtype=bool)
+        cover[:, 1] = True
+        assert support_covers(cover, pattern)
+        assert not support_covers(np.zeros((4, 4), bool), pattern)
+
+    def test_msf_covered_by_union_of_ssfs(self):
+        col0 = np.zeros((4, 4), dtype=bool)
+        col0[:, 0] = True
+        col2 = np.zeros((4, 4), dtype=bool)
+        col2[:, 2] = True
+        msf = col0 | col2
+        assert msf_coverage_by_ssf(
+            _pattern(msf), [_pattern(col0), _pattern(col2)]
+        )
+
+    def test_msf_outside_union_not_covered(self):
+        col0 = np.zeros((4, 4), dtype=bool)
+        col0[:, 0] = True
+        msf = np.zeros((4, 4), dtype=bool)
+        msf[:, 3] = True
+        assert not msf_coverage_by_ssf(_pattern(msf), [_pattern(col0)])
+
+    def test_empty_ssf_list(self):
+        empty = np.zeros((4, 4), dtype=bool)
+        assert msf_coverage_by_ssf(_pattern(empty), [])
+        corrupted = empty.copy()
+        corrupted[0, 0] = True
+        assert not msf_coverage_by_ssf(_pattern(corrupted), [])

@@ -1,0 +1,125 @@
+"""Unit tests for FIT-rate reliability budgeting."""
+
+import math
+
+import pytest
+
+from repro.core.reliability import (
+    ASIL_D_FIT_BUDGET,
+    ReliabilityBudget,
+    dangerous_fit,
+    max_per_mac_fit,
+    mission_failure_probability,
+    mttf_hours,
+)
+from repro.core.vulnerability import analyze_operation
+from repro.ops.tiling import plan_gemm_tiling
+from repro.systolic import Dataflow, MeshConfig
+
+
+class TestDangerousFit:
+    def test_worst_case_is_linear_in_macs(self):
+        assert dangerous_fit(256, 0.1) == pytest.approx(25.6)
+        assert dangerous_fit(65536, 0.1) == pytest.approx(6553.6)
+
+    def test_architectural_masking_scales(self):
+        # A K=3 conv under WS exposes only 3/16 of the columns.
+        assert dangerous_fit(256, 0.1, architectural_sdc_rate=3 / 16) == (
+            pytest.approx(4.8)
+        )
+
+    def test_mitigation_coverage_scales(self):
+        assert dangerous_fit(256, 0.1, mitigation_coverage=0.9) == (
+            pytest.approx(2.56)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dangerous_fit(0, 1.0)
+        with pytest.raises(ValueError):
+            dangerous_fit(1, -1.0)
+        with pytest.raises(ValueError):
+            dangerous_fit(1, 1.0, architectural_sdc_rate=2.0)
+        with pytest.raises(ValueError):
+            dangerous_fit(1, 1.0, mitigation_coverage=-0.5)
+
+
+class TestInversion:
+    def test_budget_roundtrip(self):
+        per_mac = max_per_mac_fit(256, budget_fit=10.0)
+        assert dangerous_fit(256, per_mac) == pytest.approx(10.0)
+
+    def test_tpu_scale_budget_is_tight(self):
+        # The paper's point: at 65K MACs, ASIL-D leaves each MAC only
+        # ~0.00015 FIT of worst-case budget.
+        per_mac = max_per_mac_fit(65536)
+        assert per_mac == pytest.approx(10.0 / 65536)
+
+    def test_masking_and_coverage_relax_the_budget(self):
+        base = max_per_mac_fit(256)
+        masked = max_per_mac_fit(256, architectural_sdc_rate=0.25)
+        covered = max_per_mac_fit(256, mitigation_coverage=0.9)
+        assert masked == pytest.approx(4 * base)
+        assert covered == pytest.approx(10 * base)
+
+    def test_fully_safe_workload_is_unbounded(self):
+        assert max_per_mac_fit(256, architectural_sdc_rate=0.0) == math.inf
+        assert max_per_mac_fit(256, mitigation_coverage=1.0) == math.inf
+
+
+class TestArrivalMath:
+    def test_mttf(self):
+        assert mttf_hours(10.0) == pytest.approx(1e8)
+        assert mttf_hours(0.0) == math.inf
+
+    def test_mission_probability_small_rates(self):
+        # 10 FIT over 10,000 hours ~ 1e-4.
+        p = mission_failure_probability(10.0, 10_000)
+        assert p == pytest.approx(1e-4, rel=1e-3)
+
+    def test_mission_probability_bounds(self):
+        assert mission_failure_probability(0.0, 1e6) == 0.0
+        assert 0.0 < mission_failure_probability(1e6, 1e6) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mttf_hours(-1.0)
+        with pytest.raises(ValueError):
+            mission_failure_probability(1.0, -1.0)
+
+
+class TestBudgetObject:
+    def _profile(self, k_channels: int):
+        mesh = MeshConfig.paper()
+        from repro.ops.im2col import ConvGeometry
+
+        g = ConvGeometry(n=1, c=3, h=16, w=16, k=k_channels, r=3, s=3)
+        plan = plan_gemm_tiling(
+            g.gemm_m, g.gemm_k, g.gemm_n, mesh, Dataflow.WEIGHT_STATIONARY
+        )
+        return analyze_operation(plan, mesh, geometry=g)
+
+    def test_budget_with_real_workload_profile(self):
+        profile = self._profile(k_channels=3)  # 3/16 columns live
+        budget = ReliabilityBudget(
+            num_macs=256, per_mac_fit=0.1, profile=profile
+        )
+        assert budget.raw_fit == pytest.approx(25.6)
+        assert budget.dangerous_fit == pytest.approx(25.6 * 3 / 16)
+        assert budget.meets_budget  # 4.8 <= 10
+        assert budget.headroom > 2.0
+
+    def test_mitigation_rescues_a_violating_deployment(self):
+        profile = self._profile(k_channels=16)  # fully exposed
+        uncovered = ReliabilityBudget(
+            num_macs=256, per_mac_fit=0.1, profile=profile
+        )
+        assert not uncovered.meets_budget  # 25.6 > 10
+        covered = ReliabilityBudget(
+            num_macs=256,
+            per_mac_fit=0.1,
+            profile=profile,
+            mitigation_coverage=0.9,
+        )
+        assert covered.meets_budget
+        assert covered.mttf() > uncovered.mttf()

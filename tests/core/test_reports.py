@@ -1,0 +1,69 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.core.campaign import Campaign, GemmWorkload
+from repro.core.reports import (
+    campaign_summary,
+    census_rows,
+    format_markdown_table,
+    format_table,
+)
+from repro.systolic import Dataflow, MeshConfig
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "n"], [["a", 1], ["long-name", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "---" in lines[1]
+        # All rows align to the widest cell.
+        assert len(lines[2]) <= len(lines[0]) + 4
+        assert "long-name" in lines[3]
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_indent(self):
+        table = format_table(["x"], [["1"]], indent="  ")
+        assert all(line.startswith("  ") for line in table.splitlines())
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        md = format_markdown_table(["a", "b"], [[1, 2]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestCampaignSummary:
+    def test_contains_key_facts(self, mesh4):
+        result = Campaign(
+            mesh4, GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY)
+        ).run()
+        text = campaign_summary(result)
+        assert "GEMM 4x4x4" in text
+        assert "stuck-at-1" in text
+        assert "single-column" in text
+        assert "100.0%" in text  # SDC rate
+
+    def test_custom_name(self, mesh4):
+        result = Campaign(
+            mesh4, GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY)
+        ).run()
+        assert "Fig3a" in campaign_summary(result, name="Fig3a")
+
+    def test_census_rows_skip_empty_classes(self, mesh4):
+        result = Campaign(
+            mesh4, GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY)
+        ).run()
+        rows = census_rows(result)
+        assert len(rows) == 1
+        cls, count, share = rows[0]
+        assert cls == "single-column"
+        assert count == 16
+        assert share == "100.0%"

@@ -1,0 +1,100 @@
+"""Unit tests for state-space modelling and site sampling."""
+
+import pytest
+
+from repro.core.campaign import ConvWorkload, GemmWorkload
+from repro.core.sampling import (
+    StateSpace,
+    all_sites,
+    corner_sites,
+    diagonal_sites,
+    paper_configurations,
+    paper_state_space,
+    random_sites,
+)
+from repro.systolic import Dataflow, MeshConfig
+
+
+class TestStateSpace:
+    def test_paper_131k_estimate(self):
+        # Section III-A: 16x16 mesh, 2 dataflows, 2 op types, 2 op configs
+        # -> "131K different FI configurations".
+        assert paper_state_space().total_configurations == 131072
+
+    def test_site_counts(self):
+        space = paper_state_space()
+        assert space.sites_per_mac == 32
+        assert space.num_fault_sites == 256 * 32
+
+    def test_all_signals_grow_the_space(self):
+        space = StateSpace(
+            mesh=MeshConfig(4, 4),
+            signals=("a_reg", "b_reg", "product", "sum"),
+        )
+        assert space.sites_per_mac == 8 + 8 + 32 + 32
+
+
+class TestSiteStrategies:
+    def test_all_sites_exhaustive(self, mesh4):
+        sites = all_sites(mesh4)
+        assert len(sites) == 16
+        assert len(set(sites)) == 16
+
+    def test_random_sites_no_replacement(self, mesh4):
+        sites = random_sites(mesh4, 10, seed=1)
+        assert len(sites) == 10
+        assert len(set(sites)) == 10
+        assert all(0 <= r < 4 and 0 <= c < 4 for r, c in sites)
+
+    def test_random_sites_deterministic(self, mesh4):
+        assert random_sites(mesh4, 5, seed=3) == random_sites(mesh4, 5, seed=3)
+
+    def test_random_sites_clamped_to_mesh(self, mesh4):
+        assert len(random_sites(mesh4, 100)) == 16
+
+    def test_random_sites_validation(self, mesh4):
+        with pytest.raises(ValueError):
+            random_sites(mesh4, 0)
+
+    def test_diagonal_sites(self, mesh_rect):
+        assert diagonal_sites(mesh_rect) == [(0, 0), (1, 1), (2, 2)]
+
+    def test_corner_sites(self, mesh4):
+        sites = corner_sites(mesh4)
+        assert (0, 0) in sites and (3, 3) in sites
+        assert (0, 3) in sites and (3, 0) in sites
+        assert (2, 2) in sites
+        assert len(sites) == 5
+
+    def test_corner_sites_degenerate_mesh(self):
+        assert corner_sites(MeshConfig(1, 1)) == [(0, 0)]
+
+
+class TestPaperConfigurations:
+    def test_rq_keys(self):
+        configs = paper_configurations()
+        assert set(configs) == {"RQ1", "RQ2", "RQ3"}
+
+    def test_rq1_contrasts_dataflows(self):
+        rq1 = paper_configurations()["RQ1"]
+        dataflows = {wl.dataflow for wl in rq1}
+        assert dataflows == {Dataflow.OUTPUT_STATIONARY, Dataflow.WEIGHT_STATIONARY}
+        assert all(isinstance(wl, GemmWorkload) for wl in rq1)
+        assert all((wl.m, wl.k, wl.n) == (16, 16, 16) for wl in rq1)
+
+    def test_rq2_contrasts_operations(self):
+        rq2 = paper_configurations()["RQ2"]
+        assert any(isinstance(wl, GemmWorkload) for wl in rq2)
+        kernels = {
+            wl.kernel_spec for wl in rq2 if isinstance(wl, ConvWorkload)
+        }
+        assert kernels == {(3, 3, 3, 3), (3, 3, 3, 8)}
+
+    def test_rq3_contrasts_sizes(self):
+        rq3 = paper_configurations()["RQ3"]
+        gemm_sizes = {wl.m for wl in rq3 if isinstance(wl, GemmWorkload)}
+        assert gemm_sizes == {16, 112}
+        conv_sizes = {
+            wl.input_size for wl in rq3 if isinstance(wl, ConvWorkload)
+        }
+        assert conv_sizes == {16, 112}

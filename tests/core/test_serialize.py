@@ -1,0 +1,92 @@
+"""Unit tests for campaign serialisation and fault dictionaries."""
+
+import json
+
+import pytest
+
+from repro.core.campaign import Campaign, ConvWorkload, GemmWorkload
+from repro.core.serialize import (
+    SCHEMA_VERSION,
+    campaign_to_dict,
+    fault_dictionary,
+    load_campaign,
+    save_campaign,
+    save_fault_dictionary,
+)
+from repro.systolic import Dataflow, MeshConfig
+
+MESH = MeshConfig(4, 4)
+
+
+@pytest.fixture(scope="module")
+def ws_result():
+    return Campaign(MESH, GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY)).run()
+
+
+class TestCampaignToDict:
+    def test_roundtrips_through_json(self, ws_result):
+        data = campaign_to_dict(ws_result)
+        restored = json.loads(json.dumps(data))
+        assert restored == data
+
+    def test_metadata_fields(self, ws_result):
+        data = campaign_to_dict(ws_result)
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["mesh"] == {"rows": 4, "cols": 4}
+        assert data["dataflow"] == "WS"
+        assert data["gemm_shape"] == [4, 4, 4]
+        assert data["fault_spec"]["signal"] == "sum"
+        assert len(data["experiments"]) == 16
+
+    def test_experiment_entries(self, ws_result):
+        entry = campaign_to_dict(ws_result)["experiments"][0]
+        assert entry["pattern_class"] == "single-column"
+        assert entry["num_corrupted"] == 4
+        assert len(entry["corrupted_cells"]) == 4
+
+    def test_without_patterns(self):
+        result = Campaign(
+            MESH,
+            GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY),
+            sites=[(0, 0)],
+            keep_patterns=False,
+        ).run()
+        entry = campaign_to_dict(result)["experiments"][0]
+        assert entry["corrupted_cells"] is None
+        assert entry["num_corrupted"] == 4
+
+
+class TestSaveLoad:
+    def test_save_and_load(self, ws_result, tmp_path):
+        path = save_campaign(ws_result, tmp_path / "campaign.json")
+        data = load_campaign(path)
+        assert data["workload"] == ws_result.workload.describe()
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 999}))
+        with pytest.raises(ValueError):
+            load_campaign(path)
+
+
+class TestFaultDictionary:
+    def test_one_entry_per_site(self, ws_result):
+        dictionary = fault_dictionary(ws_result)
+        assert len(dictionary["sites"]) == 16
+        assert dictionary["hardware"]["dataflow"] == "WS"
+        entry = dictionary["sites"]["1,2"]
+        assert entry["pattern_class"] == "single-column"
+        assert all(cell[1] == 2 for cell in entry["cells"])
+
+    def test_conv_entries_carry_channels(self):
+        result = Campaign(
+            MESH, ConvWorkload.paper_kernel(6, (3, 3, 2, 3)), sites=[(0, 1)]
+        ).run()
+        dictionary = fault_dictionary(result)
+        assert dictionary["sites"]["0,1"]["channels"] == [1]
+
+    def test_save_fault_dictionary(self, ws_result, tmp_path):
+        path = save_fault_dictionary(ws_result, tmp_path / "dict.json")
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert "stuck-at-1" in data["fault_model"]

@@ -1,0 +1,128 @@
+"""Unit tests for statistical FI estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import Campaign, ConvWorkload, GemmWorkload
+from repro.core.sampling import random_sites
+from repro.core.statistics import (
+    RateEstimate,
+    estimate_rate,
+    required_sample_size,
+    wilson_interval,
+)
+from repro.systolic import Dataflow, MeshConfig
+
+
+class TestRequiredSampleSize:
+    def test_worst_case_prior_large_population(self):
+        # Classic reference point: 5% margin, 95% confidence, p=0.5 over a
+        # huge population needs ~384 samples.
+        n = required_sample_size(10**9, margin=0.05, confidence=0.95)
+        assert 380 <= n <= 390
+
+    def test_never_exceeds_population(self):
+        # An extreme margin demand saturates at the population size
+        # (exhaustive campaign) rather than exceeding it.
+        assert required_sample_size(100, margin=0.001) == 100
+        assert required_sample_size(100, margin=0.01) <= 100
+
+    def test_tighter_margin_needs_more_samples(self):
+        loose = required_sample_size(10**6, margin=0.05)
+        tight = required_sample_size(10**6, margin=0.01)
+        assert tight > loose
+
+    def test_higher_confidence_needs_more_samples(self):
+        low = required_sample_size(10**6, confidence=0.90)
+        high = required_sample_size(10**6, confidence=0.99)
+        assert high > low
+
+    def test_informative_prior_reduces_samples(self):
+        neutral = required_sample_size(10**6, expected_rate=0.5)
+        skewed = required_sample_size(10**6, expected_rate=0.05)
+        assert skewed < neutral
+
+    def test_paper_scale_sampling_win(self):
+        # TPUv1-scale exhaustive space (65536 MACs x 32 bits x 2): a 2%
+        # margin needs ~3 orders of magnitude fewer experiments.
+        population = 65536 * 32 * 2
+        n = required_sample_size(population, margin=0.02)
+        assert n < population / 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_sample_size(0)
+        with pytest.raises(ValueError):
+            required_sample_size(10, margin=0.0)
+        with pytest.raises(ValueError):
+            required_sample_size(10, confidence=1.5)
+        with pytest.raises(ValueError):
+            required_sample_size(10, expected_rate=0.0)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_bounded_to_unit_interval(self):
+        low, _ = wilson_interval(0, 50)
+        _, high = wilson_interval(50, 50)
+        assert low == 0.0 or low > 0.0
+        assert 0.0 <= low and high <= 1.0
+
+    def test_extremes_do_not_degenerate(self):
+        # Unlike the normal approximation, Wilson gives nonzero width at 0.
+        low, high = wilson_interval(0, 100)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        assert high > 0.01
+
+    def test_more_trials_narrow_the_interval(self):
+        small = wilson_interval(5, 10)
+        large = wilson_interval(500, 1000)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+
+
+class TestEstimateRate:
+    def test_sampled_estimate_brackets_exhaustive_truth(self):
+        """The end-to-end use: estimate a conv campaign's SDC rate from a
+        sample and check the exhaustive ground truth lies in the interval."""
+        mesh = MeshConfig.paper()
+        workload = ConvWorkload.paper_kernel(8, (3, 3, 3, 3))
+        exhaustive = Campaign(mesh, workload).run()
+        true_rate = exhaustive.sdc_rate()  # 3/16 of columns are live
+
+        sampled = Campaign(
+            mesh, workload, sites=random_sites(mesh, 96, seed=4)
+        ).run()
+        estimate = estimate_rate(sampled.experiments, confidence=0.99)
+        assert estimate.samples == 96
+        assert estimate.contains(true_rate)
+
+    def test_custom_predicate(self):
+        mesh = MeshConfig(4, 4)
+        result = Campaign(
+            mesh, GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY)
+        ).run()
+        estimate = estimate_rate(
+            result.experiments, predicate=lambda e: e.num_corrupted == 4
+        )
+        assert estimate.rate == 1.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_rate([])
+
+    def test_margin_property(self):
+        estimate = RateEstimate(
+            rate=0.5, low=0.4, high=0.6, samples=100, confidence=0.95
+        )
+        assert estimate.margin == pytest.approx(0.1)
+        assert estimate.contains(0.45)
+        assert not estimate.contains(0.7)

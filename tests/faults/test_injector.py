@@ -1,0 +1,82 @@
+"""Unit tests for the fault-injection overlay."""
+
+import pytest
+
+from repro.faults.injector import NO_FAULTS, FaultInjector
+from repro.faults.model import FaultSet, StuckAtFault, TransientBitFlip
+from repro.faults.sites import SIGNAL_PRODUCT, SIGNAL_SUM, FaultSite
+
+
+class TestGolden:
+    def test_no_faults_is_golden(self):
+        assert NO_FAULTS.is_golden
+        assert FaultInjector().is_golden
+
+    def test_golden_perturb_is_identity(self):
+        assert NO_FAULTS.perturb(0, 0, SIGNAL_SUM, 12345, cycle=7) == 12345
+
+    def test_golden_touches_nothing(self):
+        assert not NO_FAULTS.touches_mac(0, 0)
+
+
+class TestSingleStuckAt:
+    def test_factory(self):
+        site = FaultSite(2, 3, SIGNAL_SUM, 5)
+        inj = FaultInjector.single_stuck_at(site, stuck_value=1)
+        assert not inj.is_golden
+        assert inj.touches_mac(2, 3)
+        assert not inj.touches_mac(3, 2)
+
+    def test_perturb_targets_only_its_site(self):
+        site = FaultSite(1, 1, SIGNAL_SUM, 0)
+        inj = FaultInjector.single_stuck_at(site, stuck_value=1)
+        assert inj.perturb(1, 1, SIGNAL_SUM, 0, 0) == 1
+        # other MAC, other signal: untouched
+        assert inj.perturb(1, 2, SIGNAL_SUM, 0, 0) == 0
+        assert inj.perturb(1, 1, SIGNAL_PRODUCT, 0, 0) == 0
+
+    def test_faults_at(self):
+        site = FaultSite(0, 0, SIGNAL_SUM, 3)
+        inj = FaultInjector.single_stuck_at(site)
+        assert len(inj.faults_at(0, 0, SIGNAL_SUM)) == 1
+        assert inj.faults_at(0, 0, SIGNAL_PRODUCT) == ()
+
+
+class TestMultipleFaults:
+    def test_two_faults_same_signal_apply_in_order(self):
+        site = FaultSite(0, 0, SIGNAL_SUM, 2)
+        set_then_clear = FaultSet.of(
+            StuckAtFault(site=site, stuck_value=1),
+            StuckAtFault(site=site, stuck_value=0),
+        )
+        inj = FaultInjector(set_then_clear)
+        # Last writer wins: bit forced to 1 then cleared to 0.
+        assert inj.perturb(0, 0, SIGNAL_SUM, 0, 0) == 0
+
+    def test_faults_on_different_macs(self):
+        fs = FaultSet.of(
+            StuckAtFault(site=FaultSite(0, 0, SIGNAL_SUM, 0)),
+            StuckAtFault(site=FaultSite(1, 1, SIGNAL_SUM, 1)),
+        )
+        inj = FaultInjector(fs)
+        assert inj.perturb(0, 0, SIGNAL_SUM, 0, 0) == 1
+        assert inj.perturb(1, 1, SIGNAL_SUM, 0, 0) == 2
+        assert inj.perturb(2, 2, SIGNAL_SUM, 0, 0) == 0
+
+    def test_accepts_plain_iterable(self):
+        inj = FaultInjector(
+            [StuckAtFault(site=FaultSite(0, 1, SIGNAL_SUM, 4))]
+        )
+        assert inj.touches_mac(0, 1)
+        assert len(inj.fault_set) == 1
+
+
+class TestTransientThroughInjector:
+    def test_transient_respects_cycle(self):
+        site = FaultSite(0, 0, SIGNAL_SUM, 0)
+        inj = FaultInjector(
+            FaultSet.of(TransientBitFlip(site=site, start_cycle=3))
+        )
+        assert inj.perturb(0, 0, SIGNAL_SUM, 0, cycle=3) == 1
+        assert inj.perturb(0, 0, SIGNAL_SUM, 0, cycle=2) == 0
+        assert inj.perturb(0, 0, SIGNAL_SUM, 0, cycle=4) == 0

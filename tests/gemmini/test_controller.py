@@ -1,0 +1,123 @@
+"""Unit tests for the accelerator controller's command interpretation."""
+
+import numpy as np
+import pytest
+
+from repro.gemmini.accumulator import AccumulatorMemory
+from repro.gemmini.controller import Controller
+from repro.gemmini.dma import DmaEngine, HostMemory
+from repro.gemmini.isa import Compute, ConfigEx, Fence, Mvin, MvoutAcc, Preload
+from repro.gemmini.scratchpad import Scratchpad
+from repro.systolic import Dataflow, FunctionalSimulator, MeshConfig
+
+
+@pytest.fixture
+def rig(mesh4):
+    host = HostMemory(capacity_elems=4096)
+    sp = Scratchpad(banks=1, rows_per_bank=64, row_elems=4)
+    acc = AccumulatorMemory(rows=64, row_elems=4)
+    dma = DmaEngine(host, sp, acc)
+    engine = FunctionalSimulator(mesh4)
+    return host, sp, acc, Controller(engine, sp, acc, dma)
+
+
+class TestBasicSequencing:
+    def test_requires_config(self, rig):
+        host, sp, acc, ctrl = rig
+        with pytest.raises(RuntimeError):
+            _ = ctrl.dataflow
+
+    def test_compute_requires_preload(self, rig):
+        host, sp, acc, ctrl = rig
+        ctrl.execute_one(ConfigEx(dataflow=Dataflow.WEIGHT_STATIONARY))
+        with pytest.raises(RuntimeError):
+            ctrl.execute_one(Compute(a_sp_row=0, a_rows=2, a_cols=2))
+
+    def test_preload_is_consumed(self, rig, rng):
+        host, sp, acc, ctrl = rig
+        a = rng.integers(-10, 10, size=(2, 2))
+        w = rng.integers(-10, 10, size=(2, 2))
+        sp.write_block(0, a)
+        sp.write_block(2, w)
+        ctrl.execute(
+            [
+                ConfigEx(dataflow=Dataflow.WEIGHT_STATIONARY),
+                Preload(sp_row=2, rows=2, cols=2, acc_row=0, accumulate=False),
+                Compute(a_sp_row=0, a_rows=2, a_cols=2),
+            ]
+        )
+        with pytest.raises(RuntimeError):
+            ctrl.execute_one(Compute(a_sp_row=0, a_rows=2, a_cols=2))
+
+    def test_unknown_command_rejected(self, rig):
+        host, sp, acc, ctrl = rig
+        with pytest.raises(TypeError):
+            ctrl.execute_one(object())
+
+    def test_stats(self, rig, rng):
+        host, sp, acc, ctrl = rig
+        sp.write_block(0, np.ones((2, 2)))
+        sp.write_block(2, np.ones((2, 2)))
+        ctrl.execute(
+            [
+                ConfigEx(dataflow=Dataflow.WEIGHT_STATIONARY),
+                Preload(sp_row=2, rows=2, cols=2, acc_row=0, accumulate=False),
+                Compute(a_sp_row=0, a_rows=2, a_cols=2),
+                Fence(),
+            ]
+        )
+        assert ctrl.stats.commands == 4
+        assert ctrl.stats.computes == 1
+        assert ctrl.stats.preloads == 1
+        assert ctrl.stats.fences == 1
+
+
+class TestComputeSemantics:
+    def test_ws_tile_result(self, rig, rng):
+        host, sp, acc, ctrl = rig
+        a = rng.integers(-10, 10, size=(3, 2))
+        w = rng.integers(-10, 10, size=(2, 4))
+        sp.write_block(0, a)
+        sp.write_block(4, w)
+        ctrl.execute(
+            [
+                ConfigEx(dataflow=Dataflow.WEIGHT_STATIONARY),
+                Preload(sp_row=4, rows=2, cols=4, acc_row=8, accumulate=False),
+                Compute(a_sp_row=0, a_rows=3, a_cols=2),
+            ]
+        )
+        assert np.array_equal(acc.read_block(8, 3, 4), a @ w)
+
+    def test_os_tile_streams_b_from_scratchpad(self, rig, rng):
+        host, sp, acc, ctrl = rig
+        a = rng.integers(-10, 10, size=(2, 3))
+        b = rng.integers(-10, 10, size=(3, 2))
+        sp.write_block(0, a)
+        sp.write_block(4, b)
+        ctrl.execute(
+            [
+                ConfigEx(dataflow=Dataflow.OUTPUT_STATIONARY),
+                Preload(sp_row=0, rows=3, cols=2, acc_row=0, accumulate=False),
+                Compute(
+                    a_sp_row=0, a_rows=2, a_cols=3,
+                    b_sp_row=4, b_rows=3, b_cols=2,
+                ),
+            ]
+        )
+        assert np.array_equal(acc.read_block(0, 2, 2), a @ b)
+
+    def test_accumulate_flag_chains_reduction_tiles(self, rig):
+        host, sp, acc, ctrl = rig
+        a = np.full((2, 2), 2)
+        w = np.full((2, 2), 3)
+        sp.write_block(0, a)
+        sp.write_block(2, w)
+        commands = [
+            ConfigEx(dataflow=Dataflow.WEIGHT_STATIONARY),
+            Preload(sp_row=2, rows=2, cols=2, acc_row=0, accumulate=False),
+            Compute(a_sp_row=0, a_rows=2, a_cols=2),
+            Preload(sp_row=2, rows=2, cols=2, acc_row=0, accumulate=True),
+            Compute(a_sp_row=0, a_rows=2, a_cols=2),
+        ]
+        ctrl.execute(commands)
+        assert np.all(acc.read_block(0, 2, 2) == 2 * (a @ w)[0, 0])

@@ -1,0 +1,146 @@
+"""Unit tests for the scratchpad, accumulator, and host memory models."""
+
+import numpy as np
+import pytest
+
+from repro.gemmini.accumulator import AccumulatorMemory
+from repro.gemmini.dma import DmaEngine, HostMemory
+from repro.gemmini.scratchpad import Scratchpad
+
+
+class TestScratchpad:
+    def test_geometry(self):
+        sp = Scratchpad(banks=4, rows_per_bank=8, row_elems=16)
+        assert sp.total_rows == 32
+        assert sp.capacity_bytes == 32 * 16  # INT8 elements
+        assert sp.bank_of(0) == 0
+        assert sp.bank_of(8) == 1
+        assert sp.bank_of(31) == 3
+
+    def test_write_read_roundtrip(self, rng):
+        sp = Scratchpad(banks=1, rows_per_bank=16, row_elems=8)
+        block = rng.integers(-128, 128, size=(4, 6))
+        sp.write_block(3, block)
+        assert np.array_equal(sp.read_block(3, 4, 6), block)
+
+    def test_write_wraps_to_int8(self):
+        sp = Scratchpad(banks=1, rows_per_bank=4, row_elems=4)
+        sp.write_block(0, np.array([[200]]))
+        assert sp.read_block(0, 1, 1)[0, 0] == -56
+
+    def test_partial_row_zero_padded(self):
+        sp = Scratchpad(banks=1, rows_per_bank=4, row_elems=4)
+        sp.write_block(0, np.full((1, 4), 7))
+        sp.write_block(0, np.array([[1, 2]]))
+        assert np.array_equal(sp.read_block(0, 1, 4), [[1, 2, 0, 0]])
+
+    def test_capacity_enforced(self):
+        sp = Scratchpad(banks=1, rows_per_bank=4, row_elems=4)
+        with pytest.raises(IndexError):
+            sp.write_block(3, np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            sp.write_block(0, np.ones((1, 5)))
+
+    def test_traffic_counters(self):
+        sp = Scratchpad(banks=1, rows_per_bank=8, row_elems=4)
+        sp.write_block(0, np.ones((3, 4)))
+        sp.read_block(0, 2, 4)
+        assert sp.writes == 3
+        assert sp.reads == 2
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Scratchpad(banks=0)
+
+
+class TestAccumulator:
+    def test_overwrite_then_accumulate(self):
+        acc = AccumulatorMemory(rows=8, row_elems=4)
+        acc.store_block(0, np.full((2, 4), 10))
+        acc.store_block(0, np.full((2, 4), 5), accumulate=True)
+        assert np.all(acc.read_block(0, 2, 4) == 15)
+
+    def test_overwrite_clears_previous(self):
+        acc = AccumulatorMemory(rows=8, row_elems=4)
+        acc.store_block(0, np.full((1, 4), 9))
+        acc.store_block(0, np.array([[1, 2]]), accumulate=False)
+        assert np.array_equal(acc.read_block(0, 1, 4), [[1, 2, 0, 0]])
+
+    def test_accumulate_wraps_int32(self):
+        acc = AccumulatorMemory(rows=2, row_elems=2)
+        acc.store_block(0, np.array([[2**31 - 1, 0]]))
+        acc.store_block(0, np.array([[1, 0]]), accumulate=True)
+        assert acc.read_block(0, 1, 1)[0, 0] == -(2**31)
+
+    def test_range_enforced(self):
+        acc = AccumulatorMemory(rows=2, row_elems=2)
+        with pytest.raises(IndexError):
+            acc.store_block(1, np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            acc.read_block(0, 1, 3)
+
+
+class TestHostMemory:
+    def test_alloc_and_roundtrip(self, rng):
+        host = HostMemory(capacity_elems=1024)
+        array = host.alloc(5, 7)
+        values = rng.integers(-1000, 1000, size=(5, 7))
+        host.store(array, values)
+        assert np.array_equal(host.load(array), values)
+
+    def test_allocations_do_not_overlap(self):
+        host = HostMemory(capacity_elems=64)
+        a = host.alloc(2, 4)
+        b = host.alloc(2, 4)
+        host.store(a, np.full((2, 4), 1))
+        host.store(b, np.full((2, 4), 2))
+        assert np.all(host.load(a) == 1)
+        assert host.allocated == 16
+
+    def test_exhaustion(self):
+        host = HostMemory(capacity_elems=8)
+        host.alloc(2, 4)
+        with pytest.raises(MemoryError):
+            host.alloc(1, 1)
+
+    def test_strided_access_reads_submatrix(self, rng):
+        host = HostMemory(capacity_elems=64)
+        array = host.alloc(4, 6)
+        values = rng.integers(0, 100, size=(4, 6))
+        host.store(array, values)
+        block = host.read_strided(array.addr + 6 + 2, array.stride, 2, 3)
+        assert np.array_equal(block, values[1:3, 2:5])
+
+    def test_strided_write(self):
+        host = HostMemory(capacity_elems=64)
+        array = host.alloc(3, 4)
+        host.store(array, np.zeros((3, 4)))
+        host.write_strided(array.addr + 1, array.stride, np.full((3, 2), 9))
+        assert np.array_equal(host.load(array)[:, 1:3], np.full((3, 2), 9))
+
+    def test_strided_bounds_checked(self):
+        host = HostMemory(capacity_elems=16)
+        with pytest.raises(IndexError):
+            host.read_strided(8, 4, 3, 4)
+        with pytest.raises(ValueError):
+            host.read_strided(0, 2, 1, 4)  # stride < cols
+
+
+class TestDmaEngine:
+    def test_mvin_and_mvout_traffic(self, rng):
+        host = HostMemory(capacity_elems=256)
+        sp = Scratchpad(banks=1, rows_per_bank=16, row_elems=8)
+        acc = AccumulatorMemory(rows=16, row_elems=8)
+        dma = DmaEngine(host, sp, acc)
+        src = host.alloc(4, 8)
+        values = rng.integers(-128, 128, size=(4, 8))
+        host.store(src, values)
+        dma.mvin(src.addr, src.stride, 0, 4, 8)
+        assert np.array_equal(sp.read_block(0, 4, 8), values)
+        assert dma.bytes_in == 4 * 8  # INT8
+
+        acc.store_block(0, values)
+        dst = host.alloc(4, 8)
+        dma.mvout_acc(0, dst.addr, dst.stride, 4, 8)
+        assert np.array_equal(host.load(dst), values)
+        assert dma.bytes_out == 4 * 8 * 4  # INT32

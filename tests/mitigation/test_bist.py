@@ -1,0 +1,85 @@
+"""Unit tests for the BIST routine."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultSet, FaultSite, StuckAtFault
+from repro.mitigation.bist import bist_vectors, run_bist
+from repro.systolic import MeshConfig
+
+MESH = MeshConfig(8, 8)
+
+
+class TestTestVectors:
+    def test_three_named_vectors_sized_to_mesh(self):
+        vectors = bist_vectors(MESH)
+        assert [name for name, _, _ in vectors] == [
+            "ones",
+            "max-negative",
+            "random",
+        ]
+        for _, a, b in vectors:
+            assert a.shape == (8, 8) and b.shape == (8, 8)
+            assert a.min() >= -128 and a.max() <= 127
+
+    def test_deterministic(self):
+        first = bist_vectors(MESH, seed=3)
+        second = bist_vectors(MESH, seed=3)
+        for (_, a1, b1), (_, a2, b2) in zip(first, second):
+            assert (a1 == a2).all() and (b1 == b2).all()
+
+
+class TestHealthyMesh:
+    def test_passes(self):
+        report = run_bist(MESH, FaultInjector())
+        assert report.passed
+        assert report.faulty_macs == ()
+        assert "passed" in report.describe()
+
+
+class TestFaultyMesh:
+    @pytest.mark.parametrize("bit,stuck", [(20, 1), (25, 0), (3, 1), (0, 0)])
+    def test_locates_the_faulty_mac_exactly(self, bit, stuck):
+        injector = FaultInjector.single_stuck_at(
+            FaultSite(5, 6, "sum", bit), stuck
+        )
+        report = run_bist(MESH, injector)
+        assert not report.passed
+        assert report.faulty_macs == ((5, 6),)
+        assert report.exposing_vectors  # at least one vector fired
+        assert "FAILED" in report.describe()
+
+    def test_high_bit_stuck_at_0_needs_the_negative_vector(self):
+        """The ones vector cannot expose stuck-at-0 at bit 25 (its sums
+        never reach that bit); the max-negative vector must."""
+        injector = FaultInjector.single_stuck_at(
+            FaultSite(2, 2, "sum", 25), 0
+        )
+        report = run_bist(MESH, injector)
+        assert not report.passed
+        assert "ones" not in report.exposing_vectors
+        assert "max-negative" in report.exposing_vectors
+
+    def test_multiple_faults_all_located(self):
+        faults = FaultSet.of(
+            StuckAtFault(site=FaultSite(0, 1, "sum", 20)),
+            StuckAtFault(site=FaultSite(7, 4, "sum", 20)),
+        )
+        report = run_bist(MESH, FaultInjector(faults))
+        assert set(report.faulty_macs) >= {(0, 1), (7, 4)}
+
+    def test_operand_register_faults_detected(self):
+        injector = FaultInjector.single_stuck_at(
+            FaultSite(4, 4, "a_reg", 6), 1
+        )
+        report = run_bist(MESH, injector)
+        assert not report.passed
+        assert (4, 4) in report.faulty_macs
+
+    def test_cycle_engine_variant(self):
+        injector = FaultInjector.single_stuck_at(FaultSite(1, 1, "sum", 20), 1)
+        report = run_bist(MeshConfig(4, 4), injector, engine="cycle")
+        assert report.faulty_macs == ((1, 1),)
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ValueError):
+            run_bist(MESH, FaultInjector(), engine="asic")

@@ -1,0 +1,139 @@
+"""Unit tests for time redundancy and column off-lining."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjector, FaultSet, FaultSite, StuckAtFault
+from repro.mitigation.offlining import OffliningGemm
+from repro.mitigation.redundancy import TemporalRedundantGemm
+from repro.ops.reference import reference_gemm
+from repro.systolic import Dataflow, FunctionalSimulator, MeshConfig
+
+MESH = MeshConfig(8, 8)
+WS = Dataflow.WEIGHT_STATIONARY
+OS = Dataflow.OUTPUT_STATIONARY
+IS = Dataflow.INPUT_STATIONARY
+
+
+def _injector(row=2, col=3, bit=22):
+    return FaultInjector.single_stuck_at(FaultSite(row, col, "sum", bit), 1)
+
+
+class TestTemporalRedundancy:
+    def test_golden_run_agrees_everywhere(self, rng):
+        a = rng.integers(-128, 128, size=(8, 8))
+        b = rng.integers(-128, 128, size=(8, 8))
+        report = TemporalRedundantGemm(FunctionalSimulator(MESH), WS)(a, b)
+        assert not report.fault_detected
+        assert report.fully_corrected
+        assert np.array_equal(report.output, reference_gemm(a, b))
+
+    @pytest.mark.parametrize("dataflow", [WS, OS, IS])
+    def test_three_runs_correct_single_fault(self, rng, dataflow):
+        a = rng.integers(-128, 128, size=(16, 8))
+        b = rng.integers(-128, 128, size=(8, 16))
+        report = TemporalRedundantGemm(
+            FunctionalSimulator(MESH, _injector()), dataflow, runs=3
+        )(a, b)
+        assert report.fault_detected
+        assert report.fully_corrected
+        assert np.array_equal(report.output, reference_gemm(a, b))
+
+    def test_two_runs_detect_but_may_not_correct(self, rng):
+        a = rng.integers(-128, 128, size=(8, 8))
+        b = rng.integers(-128, 128, size=(8, 8))
+        report = TemporalRedundantGemm(
+            FunctionalSimulator(MESH, _injector()), WS, runs=2
+        )(a, b)
+        assert report.fault_detected
+        assert report.unresolved_cells > 0
+
+    def test_run_count_validated(self):
+        with pytest.raises(ValueError):
+            TemporalRedundantGemm(FunctionalSimulator(MESH), WS, runs=1)
+        # More runs than physical columns cannot give distinct placements.
+        from repro.systolic import MeshConfig
+
+        tiny = FunctionalSimulator(MeshConfig(2, 2))
+        with pytest.raises(ValueError):
+            TemporalRedundantGemm(tiny, WS, runs=3)
+
+    def test_tiled_width_is_corrected(self, rng):
+        """The case that defeats naive global rotation: output wider than
+        the mesh, where a rotated column can revisit the faulty physical
+        column through a different tile. Block rotation handles it."""
+        a = rng.integers(-128, 128, size=(4, 4))
+        b = rng.integers(-128, 128, size=(4, 13))  # 13 > 8 mesh cols
+        report = TemporalRedundantGemm(
+            FunctionalSimulator(MESH, _injector(0, 0)), WS, runs=3
+        )(a, b)
+        assert report.fully_corrected
+        assert np.array_equal(report.output, reference_gemm(a, b))
+
+    def test_operand_validation(self):
+        tr = TemporalRedundantGemm(FunctionalSimulator(MESH), WS)
+        with pytest.raises(ValueError):
+            tr(np.ones((2, 3)), np.ones((2, 2)))
+
+
+class TestOfflining:
+    @pytest.mark.parametrize("dataflow", [WS, OS, IS])
+    def test_restores_golden_output(self, rng, dataflow):
+        a = rng.integers(-128, 128, size=(20, 8))
+        b = rng.integers(-128, 128, size=(8, 20))
+        off = OffliningGemm(
+            FunctionalSimulator(MESH, _injector()), dataflow, [(2, 3)]
+        )
+        report = off(a, b)
+        assert np.array_equal(report.output, reference_gemm(a, b))
+        assert report.offlined_cols == (3,)
+
+    def test_multiple_offlined_columns(self, rng):
+        faults = FaultSet.of(
+            StuckAtFault(site=FaultSite(1, 2, "sum", 22)),
+            StuckAtFault(site=FaultSite(5, 6, "sum", 22)),
+        )
+        a = rng.integers(-128, 128, size=(10, 8))
+        b = rng.integers(-128, 128, size=(8, 10))
+        off = OffliningGemm(
+            FunctionalSimulator(MESH, FaultInjector(faults)),
+            WS,
+            [(1, 2), (5, 6)],
+        )
+        report = off(a, b)
+        assert np.array_equal(report.output, reference_gemm(a, b))
+        assert report.offlined_cols == (2, 6)
+
+    def test_overhead_reported_when_width_shrinks(self, rng):
+        # 8 output columns on 8 physical columns: off-lining one forces a
+        # second column tile.
+        a = rng.integers(-128, 128, size=(8, 8))
+        b = rng.integers(-128, 128, size=(8, 8))
+        off = OffliningGemm(
+            FunctionalSimulator(MESH, _injector()), WS, [(2, 3)]
+        )
+        report = off(a, b)
+        assert report.tiles_baseline == 1
+        assert report.tiles_used == 2
+        assert report.overhead_ratio == 2.0
+
+    def test_cannot_offline_everything(self):
+        with pytest.raises(ValueError):
+            OffliningGemm(
+                FunctionalSimulator(MESH),
+                WS,
+                [(0, c) for c in range(8)],
+            )
+
+    def test_operand_validation(self):
+        off = OffliningGemm(FunctionalSimulator(MESH), WS, [(0, 0)])
+        with pytest.raises(ValueError):
+            off(np.ones((2, 3)), np.ones((2, 2)))
+
+    def test_golden_engine_unaffected(self, rng):
+        # Off-lining on a healthy mesh still computes correctly (just
+        # wastes a column).
+        a = rng.integers(-128, 128, size=(9, 9))
+        b = rng.integers(-128, 128, size=(9, 9))
+        off = OffliningGemm(FunctionalSimulator(MESH), OS, [(0, 5)])
+        assert np.array_equal(off(a, b).output, reference_gemm(a, b))

@@ -1,0 +1,77 @@
+"""Unit tests for vulnerability-aware dataflow selection."""
+
+import pytest
+
+from repro.gemmini.performance import PerformanceModel
+from repro.mitigation.selection import select_dataflow
+from repro.nn.zoo import LENET5
+from repro.systolic import Dataflow, MeshConfig
+
+MESH = MeshConfig.paper()
+
+
+class TestSelection:
+    def test_square_gemm_prefers_os(self):
+        """RQ1 operationalised: the three dataflows cost the same cycles
+        on a square GEMM, so the selector picks the 16x-less-damaging OS."""
+        choice = select_dataflow(16, 16, 16, MESH)
+        assert choice.dataflow is Dataflow.OUTPUT_STATIONARY
+        assert choice.expected_damage == 1.0  # 100% live x 1-cell blast
+        assert choice.damage_reduction == 16.0
+
+    def test_damage_model(self):
+        choice = select_dataflow(16, 16, 16, MESH)
+        alternatives = dict(
+            (dataflow, damage)
+            for dataflow, damage, _ in choice.alternatives
+        )
+        assert alternatives[Dataflow.WEIGHT_STATIONARY] == 16.0
+        assert alternatives[Dataflow.INPUT_STATIONARY] == 16.0
+
+    def test_overhead_budget_can_force_the_fast_choice(self):
+        """With a long-K reduction, OS streams K in one tile while WS must
+        re-tile; a zero-overhead budget then forbids picking WS even if it
+        were safer (here OS is both fastest and safest, so the point is
+        exercised by checking eligibility filtering on the alternatives)."""
+        choice = select_dataflow(8, 512, 8, MESH, max_overhead=0.0)
+        assert choice.dataflow is Dataflow.OUTPUT_STATIONARY
+        assert choice.total_cycles == min(
+            [choice.total_cycles]
+            + [cycles for _, _, cycles in choice.alternatives]
+        )
+
+    def test_infeasible_candidates_are_skipped(self):
+        # IS cannot host m > mesh cols in a single plan? It can (tiling).
+        # But a candidate list with impossible custom tiling is skipped:
+        choice = select_dataflow(
+            4, 4, 4, MESH,
+            candidates=(Dataflow.OUTPUT_STATIONARY,),
+        )
+        assert choice.dataflow is Dataflow.OUTPUT_STATIONARY
+        assert choice.alternatives == ()
+
+    def test_no_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            select_dataflow(4, 4, 4, MESH, candidates=())
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            select_dataflow(4, 4, 4, MESH, max_overhead=-0.1)
+
+    def test_custom_model_respected(self):
+        slow_dma = PerformanceModel(MESH, dma_bytes_per_cycle=1)
+        choice = select_dataflow(16, 16, 16, MESH, model=slow_dma)
+        assert choice.estimate.dma_bound
+
+
+class TestOnRealLayers:
+    def test_lenet_layers_select_os(self):
+        """Every LeNet layer shape selects OS under a generous budget —
+        consistent with Burel et al.'s OS-based resilient architecture."""
+        for layer in LENET5:
+            m, k, n = layer.gemm_shape()
+            choice = select_dataflow(
+                m, k, n, MESH, geometry=layer.geometry(), max_overhead=0.5
+            )
+            assert choice.dataflow is Dataflow.OUTPUT_STATIONARY, layer.name
+            assert choice.damage_reduction >= 1.0

@@ -1,0 +1,50 @@
+"""Unit tests for the full-stack accelerator inference backend."""
+
+import numpy as np
+
+from repro.faults import FaultInjector, FaultSite
+from repro.nn import build_dense_classifier, make_digits
+from repro.nn.backends import AcceleratorBackend, ReferenceBackend
+from repro.systolic import Dataflow, MeshConfig
+
+MESH = MeshConfig.paper()
+
+
+class TestGoldenEquivalence:
+    def test_predictions_match_reference(self):
+        x, y = make_digits(40, noise=0.03, seed=13)
+        model = build_dense_classifier()
+        model.set_backend(ReferenceBackend())
+        expected = model.predict(x)
+        model.set_backend(AcceleratorBackend(MESH))
+        assert np.array_equal(model.predict(x), expected)
+
+    def test_conv_path(self, rng):
+        backend = AcceleratorBackend(MeshConfig(4, 4))
+        x = rng.integers(-50, 50, size=(1, 2, 6, 6))
+        w = rng.integers(-50, 50, size=(3, 2, 3, 3))
+        golden = ReferenceBackend().conv2d(x, w, 1, 1)
+        assert np.array_equal(backend.conv2d(x, w, 1, 1), golden)
+
+    def test_stats_accumulate_across_layers(self):
+        x, _ = make_digits(10, seed=0)
+        model = build_dense_classifier()
+        backend = AcceleratorBackend(MESH)
+        model.set_backend(backend)
+        model.predict(x)
+        stats = backend.accelerator.stats()
+        assert stats.controller.computes > 0
+        assert stats.dma_bytes_in > 0
+
+
+class TestFaultyStack:
+    def test_fault_degrades_like_bare_engine(self):
+        x, y = make_digits(80, noise=0.03, seed=14)
+        injector = FaultInjector.single_stuck_at(FaultSite(0, 4, "sum", 28), 1)
+        model = build_dense_classifier()
+        model.set_backend(ReferenceBackend())
+        baseline = model.evaluate(x, y)
+        model.set_backend(
+            AcceleratorBackend(MESH, injector, Dataflow.WEIGHT_STATIONARY)
+        )
+        assert model.evaluate(x, y) < baseline - 0.3

@@ -1,0 +1,118 @@
+"""Unit tests for the inference layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.backends import ReferenceBackend, SystolicBackend
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.ops.reference import reference_conv2d
+from repro.systolic import MeshConfig
+
+
+class TestConv2D:
+    def test_forward_matches_reference_with_shift(self, rng):
+        w = rng.integers(-5, 5, size=(2, 1, 3, 3))
+        x = rng.integers(0, 50, size=(1, 1, 6, 6))
+        layer = Conv2D(w, stride=1, padding=1, shift=2)
+        expected = reference_conv2d(x, w, padding=1)
+        # Requantised: round-half-up shift, saturated to INT8.
+        out = layer.forward(x)
+        assert out.shape == expected.shape
+        assert out.max() <= 127 and out.min() >= -128
+
+    def test_raw_int32_when_shift_none(self, rng):
+        w = rng.integers(-5, 5, size=(2, 1, 2, 2))
+        x = rng.integers(0, 50, size=(1, 1, 4, 4))
+        layer = Conv2D(w, shift=None)
+        assert np.array_equal(layer.forward(x), reference_conv2d(x, w))
+
+    def test_bias(self):
+        w = np.ones((1, 1, 1, 1), dtype=np.int64)
+        layer = Conv2D(w, bias=np.array([100]), shift=None)
+        out = layer.forward(np.zeros((1, 1, 2, 2), dtype=np.int64))
+        assert np.all(out == 100)
+
+    def test_bias_shape_checked(self):
+        with pytest.raises(ValueError):
+            Conv2D(np.ones((2, 1, 1, 1)), bias=np.ones(3))
+
+    def test_weights_must_be_4d(self):
+        with pytest.raises(ValueError):
+            Conv2D(np.ones((2, 2)))
+
+    def test_weights_wrap_to_int8(self):
+        layer = Conv2D(np.full((1, 1, 1, 1), 130), shift=None)
+        assert layer.weights[0, 0, 0, 0] == -126
+
+    def test_systolic_backend_equivalent(self, rng):
+        w = rng.integers(-5, 5, size=(2, 2, 3, 3))
+        x = rng.integers(-20, 20, size=(1, 2, 5, 5))
+        layer = Conv2D(w, padding=1, shift=None)
+        golden = layer.forward(x)
+        layer.set_backend(SystolicBackend(MeshConfig(4, 4)))
+        assert np.array_equal(layer.forward(x), golden)
+
+
+class TestDense:
+    def test_forward(self, rng):
+        w = rng.integers(-5, 5, size=(6, 3))
+        x = rng.integers(-20, 20, size=(2, 6))
+        layer = Dense(w, shift=None)
+        assert np.array_equal(layer.forward(x), x @ w)
+
+    def test_bias(self):
+        layer = Dense(np.zeros((2, 2), dtype=np.int64),
+                      bias=np.array([5, -5]), shift=None)
+        out = layer.forward(np.ones((1, 2), dtype=np.int64))
+        assert out.tolist() == [[5, -5]]
+
+    def test_requantized_output(self):
+        layer = Dense(np.full((1, 1), 4, dtype=np.int64), shift=2)
+        out = layer.forward(np.array([[8]]))
+        assert out[0, 0] == 8  # 32 >> 2
+
+    def test_input_shape_checked(self):
+        layer = Dense(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((1, 4)))
+        with pytest.raises(ValueError):
+            layer.forward(np.ones(3))
+
+    def test_weights_must_be_2d(self):
+        with pytest.raises(ValueError):
+            Dense(np.ones(3))
+
+    def test_bias_shape_checked(self):
+        with pytest.raises(ValueError):
+            Dense(np.ones((2, 2)), bias=np.ones(3))
+
+
+class TestElementwiseLayers:
+    def test_relu(self):
+        out = ReLU().forward(np.array([-3, 0, 5]))
+        assert out.tolist() == [0, 0, 5]
+
+    def test_maxpool(self):
+        x = np.arange(16).reshape(1, 1, 4, 4)
+        out = MaxPool2D(2).forward(x)
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0].tolist() == [[5, 7], [13, 15]]
+
+    def test_maxpool_requires_divisible(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(2).forward(np.zeros((1, 1, 5, 4)))
+
+    def test_maxpool_requires_nchw(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(2).forward(np.zeros((4, 4)))
+
+    def test_maxpool_size_validated(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(0)
+
+    def test_flatten(self):
+        out = Flatten().forward(np.zeros((2, 3, 4)))
+        assert out.shape == (2, 12)
+
+    def test_set_backend_is_noop_for_elementwise(self):
+        ReLU().set_backend(ReferenceBackend())  # must not raise

@@ -1,0 +1,119 @@
+"""Unit tests for the model container, datasets, and fault backends."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjector, FaultSet, FaultSite, StuckAtFault
+from repro.nn import (
+    DIGIT_TEMPLATES,
+    ReferenceBackend,
+    Sequential,
+    SystolicBackend,
+    accuracy,
+    build_conv_classifier,
+    build_dense_classifier,
+    make_digits,
+)
+from repro.nn.layers import Dense, Flatten
+from repro.systolic import Dataflow, MeshConfig
+
+
+class TestSequential:
+    def test_forward_chains_layers(self):
+        model = Sequential([Flatten(), Dense(np.eye(4, dtype=np.int64), shift=None)])
+        x = np.arange(8).reshape(2, 2, 2)
+        assert np.array_equal(model.forward(x), x.reshape(2, 4))
+
+    def test_predict_argmax(self):
+        model = Sequential([Dense(np.eye(3, dtype=np.int64), shift=None)])
+        x = np.array([[1, 5, 2], [9, 0, 0]])
+        assert model.predict(x).tolist() == [1, 0]
+
+    def test_predict_requires_2d_logits(self):
+        model = Sequential([])
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 2, 2)))
+
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(2 / 3)
+        assert accuracy(np.array([]), np.array([])) == 0.0
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+
+class TestDataset:
+    def test_templates_are_distinct(self):
+        flat = DIGIT_TEMPLATES.reshape(10, -1)
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert not np.array_equal(flat[i], flat[j])
+
+    def test_make_digits_shapes_and_ranges(self):
+        x, y = make_digits(50, noise=0.1, seed=0)
+        assert x.shape == (50, 1, 8, 8)
+        assert y.shape == (50,)
+        assert x.min() >= 0 and x.max() <= 127
+        assert set(np.unique(y)).issubset(set(range(10)))
+
+    def test_deterministic(self):
+        a = make_digits(20, seed=5)
+        b = make_digits(20, seed=5)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_zero_noise_equals_templates(self):
+        x, y = make_digits(20, noise=0.0, jitter=False, brightness=60, seed=1)
+        for img, label in zip(x, y):
+            assert np.array_equal(img[0], DIGIT_TEMPLATES[label] * 60)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_digits(0)
+        with pytest.raises(ValueError):
+            make_digits(5, noise=1.5)
+        with pytest.raises(ValueError):
+            make_digits(5, brightness=200)
+
+
+class TestClassifiers:
+    def test_dense_classifier_healthy_baseline(self):
+        x, y = make_digits(300, noise=0.05, seed=2)
+        assert build_dense_classifier().evaluate(x, y) > 0.85
+
+    def test_conv_classifier_healthy_baseline(self):
+        x, y = make_digits(300, noise=0.05, seed=2)
+        assert build_conv_classifier().evaluate(x, y) > 0.8
+
+    def test_perfect_on_clean_data(self):
+        x, y = make_digits(100, noise=0.0, seed=3)
+        assert build_dense_classifier().evaluate(x, y) == 1.0
+
+
+class TestFaultyBackends:
+    def test_systolic_backend_matches_reference_when_golden(self):
+        x, y = make_digits(60, noise=0.05, seed=4)
+        model = build_dense_classifier()
+        golden = model.predict(x)
+        model.set_backend(SystolicBackend(MeshConfig(16, 16)))
+        assert np.array_equal(model.predict(x), golden)
+
+    def test_faulty_mesh_degrades_accuracy(self):
+        x, y = make_digits(100, noise=0.03, seed=5)
+        model = build_dense_classifier()
+        baseline = model.evaluate(x, y)
+        inj = FaultInjector.single_stuck_at(FaultSite(0, 2, "sum", 28), 1)
+        model.set_backend(
+            SystolicBackend(MeshConfig(16, 16), inj, Dataflow.WEIGHT_STATIONARY)
+        )
+        assert model.evaluate(x, y) < baseline
+
+    def test_fault_in_unused_region_is_harmless(self):
+        # Dense workload is (batch, 64) @ (64, 10): only mesh columns 0-9
+        # are live in the final WS tile; a column-15 fault never shows.
+        x, y = make_digits(40, noise=0.03, seed=6)
+        model = build_dense_classifier()
+        golden = model.predict(x)
+        inj = FaultInjector.single_stuck_at(FaultSite(0, 15, "sum", 28), 1)
+        model.set_backend(
+            SystolicBackend(MeshConfig(16, 16), inj, Dataflow.WEIGHT_STATIONARY)
+        )
+        assert np.array_equal(model.predict(x), golden)

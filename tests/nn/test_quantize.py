@@ -1,0 +1,54 @@
+"""Unit tests for INT8 quantisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.quantize import dequantize, quantize_symmetric, requantize_shift
+
+
+class TestQuantizeSymmetric:
+    def test_roundtrip_error_bounded(self, rng):
+        values = rng.normal(0, 2, size=100)
+        quantized, scale = quantize_symmetric(values)
+        recovered = dequantize(quantized, scale)
+        assert np.max(np.abs(recovered - values)) <= scale / 2 + 1e-12
+
+    def test_peak_maps_to_max(self):
+        quantized, scale = quantize_symmetric(np.array([-4.0, 2.0]))
+        assert quantized[0] == -127
+        assert scale == pytest.approx(4.0 / 127)
+
+    def test_all_zero_input(self):
+        quantized, scale = quantize_symmetric(np.zeros(5))
+        assert np.all(quantized == 0)
+        assert scale == 1.0
+
+    def test_range_respected(self, rng):
+        quantized, _ = quantize_symmetric(rng.normal(0, 100, size=1000))
+        assert quantized.max() <= 127
+        assert quantized.min() >= -128
+
+
+class TestRequantizeShift:
+    def test_shift_divides(self):
+        acc = np.array([64, 128, -64])
+        assert requantize_shift(acc, 4).tolist() == [4, 8, -4]
+
+    def test_rounds_half_up(self):
+        # 24 / 16 = 1.5 -> rounds to 2.
+        assert requantize_shift(np.array([24]), 4)[0] == 2
+
+    def test_saturates_to_int8(self):
+        assert requantize_shift(np.array([10**6]), 4)[0] == 127
+        assert requantize_shift(np.array([-(10**6)]), 4)[0] == -128
+
+    def test_zero_shift_is_clamp_only(self):
+        assert requantize_shift(np.array([300, -300, 5]), 0).tolist() == [
+            127,
+            -128,
+            5,
+        ]
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            requantize_shift(np.array([1]), -1)

@@ -1,0 +1,100 @@
+"""Unit tests for systolic convolution execution."""
+
+import numpy as np
+import pytest
+
+from repro.ops.conv import SystolicConv2d
+from repro.ops.reference import reference_conv2d
+from repro.systolic import CycleSimulator, Dataflow, FunctionalSimulator
+
+from tests.conftest import stuck_at
+
+
+class TestGolden:
+    @pytest.mark.parametrize("dataflow", list(Dataflow))
+    def test_matches_direct_convolution(self, mesh4, rng, dataflow):
+        x = rng.integers(-50, 50, size=(2, 3, 6, 6))
+        w = rng.integers(-50, 50, size=(4, 3, 3, 3))
+        conv = SystolicConv2d(FunctionalSimulator(mesh4), dataflow, padding=1)
+        assert np.array_equal(conv(x, w).output, reference_conv2d(x, w, padding=1))
+
+    def test_cycle_engine(self, mesh4, rng):
+        x = rng.integers(-50, 50, size=(1, 2, 5, 5))
+        w = rng.integers(-50, 50, size=(3, 2, 2, 2))
+        conv = SystolicConv2d(CycleSimulator(mesh4))
+        assert np.array_equal(conv(x, w).output, reference_conv2d(x, w))
+
+    def test_stride(self, mesh4, rng):
+        x = rng.integers(-50, 50, size=(1, 1, 9, 9))
+        w = rng.integers(-50, 50, size=(2, 1, 3, 3))
+        conv = SystolicConv2d(FunctionalSimulator(mesh4), stride=2)
+        assert np.array_equal(
+            conv(x, w).output, reference_conv2d(x, w, stride=2)
+        )
+
+    def test_channel_bias(self, mesh4, rng):
+        x = rng.integers(-50, 50, size=(1, 2, 5, 5))
+        w = rng.integers(-50, 50, size=(3, 2, 3, 3))
+        bias = rng.integers(-100, 100, size=(3,))
+        conv = SystolicConv2d(FunctionalSimulator(mesh4))
+        assert np.array_equal(
+            conv(x, w, bias=bias).output, reference_conv2d(x, w, bias=bias)
+        )
+
+    def test_bias_shape_checked(self, mesh4):
+        conv = SystolicConv2d(FunctionalSimulator(mesh4))
+        with pytest.raises(ValueError):
+            conv(np.ones((1, 1, 4, 4)), np.ones((2, 1, 2, 2)), bias=np.ones(3))
+
+    def test_result_metadata(self, mesh4):
+        conv = SystolicConv2d(FunctionalSimulator(mesh4))
+        result = conv(np.ones((1, 1, 5, 5)), np.ones((2, 1, 2, 2)))
+        assert result.geometry.k == 2
+        assert result.plan.n == 2  # GEMM columns = output channels
+        assert result.gemm_view.shape == (result.geometry.gemm_m, 2)
+
+
+class TestFaultyChannelMapping:
+    """The RQ2 signature: a WS fault corrupts whole output channels."""
+
+    def test_single_channel_corruption(self, mesh4):
+        x = np.ones((1, 3, 6, 6), dtype=np.int64)
+        w = np.ones((3, 3, 3, 3), dtype=np.int64)  # K=3 <= mesh cols
+        golden = reference_conv2d(x, w)
+        conv = SystolicConv2d(
+            FunctionalSimulator(mesh4, stuck_at(1, 2, bit=20)),
+            Dataflow.WEIGHT_STATIONARY,
+        )
+        faulty = conv(x, w).output
+        diff = golden != faulty
+        corrupted_channels = sorted(set(np.where(diff.any(axis=(0, 2, 3)))[0]))
+        assert corrupted_channels == [2]
+        # The whole channel is corrupted, every spatial position.
+        assert diff[:, 2].all()
+
+    def test_multi_channel_corruption_when_k_exceeds_mesh(self, mesh4):
+        x = np.ones((1, 3, 6, 6), dtype=np.int64)
+        w = np.ones((6, 3, 3, 3), dtype=np.int64)  # K=6 > 4 mesh cols
+        golden = reference_conv2d(x, w)
+        conv = SystolicConv2d(
+            FunctionalSimulator(mesh4, stuck_at(0, 1, bit=20)),
+            Dataflow.WEIGHT_STATIONARY,
+        )
+        faulty = conv(x, w).output
+        diff = golden != faulty
+        corrupted_channels = sorted(set(np.where(diff.any(axis=(0, 2, 3)))[0]))
+        assert corrupted_channels == [1, 5]  # channels c and c + mesh_cols
+
+    def test_os_fault_corrupts_sparse_elements(self, mesh4):
+        x = np.ones((1, 1, 5, 5), dtype=np.int64)
+        w = np.ones((2, 1, 2, 2), dtype=np.int64)
+        golden = reference_conv2d(x, w)
+        conv = SystolicConv2d(
+            FunctionalSimulator(mesh4, stuck_at(1, 0, bit=20)),
+            Dataflow.OUTPUT_STATIONARY,
+        )
+        faulty = conv(x, w).output
+        diff = golden != faulty
+        # OS corrupts one GEMM cell per output tile -> a few pixels of one
+        # channel, never the whole channel.
+        assert 0 < diff.sum() < diff[:, 0].size

@@ -1,0 +1,132 @@
+"""Unit tests for the tiled GEMM executor."""
+
+import numpy as np
+import pytest
+
+from repro.ops.gemm import TiledGemm
+from repro.ops.reference import reference_gemm
+from repro.systolic import CycleSimulator, Dataflow, FunctionalSimulator
+
+from tests.conftest import stuck_at
+
+
+class TestGoldenTiling:
+    @pytest.mark.parametrize("dataflow", list(Dataflow))
+    @pytest.mark.parametrize("shape", [(4, 4, 4), (9, 7, 11), (1, 13, 1), (5, 1, 8)])
+    def test_matches_reference(self, mesh4, rng, dataflow, shape):
+        m, k, n = shape
+        a = rng.integers(-128, 128, size=(m, k))
+        b = rng.integers(-128, 128, size=(k, n))
+        result = TiledGemm(FunctionalSimulator(mesh4))(a, b, dataflow)
+        assert np.array_equal(result.output, reference_gemm(a, b))
+
+    def test_cycle_engine_tiled(self, mesh4, rng):
+        a = rng.integers(-128, 128, size=(6, 9))
+        b = rng.integers(-128, 128, size=(9, 5))
+        for dataflow in Dataflow:
+            result = TiledGemm(CycleSimulator(mesh4))(a, b, dataflow)
+            assert np.array_equal(result.output, reference_gemm(a, b))
+
+    def test_bias(self, mesh4, rng):
+        a = rng.integers(-128, 128, size=(6, 6))
+        b = rng.integers(-128, 128, size=(6, 6))
+        bias = rng.integers(-(2**20), 2**20, size=(6, 6))
+        result = TiledGemm(FunctionalSimulator(mesh4))(
+            a, b, Dataflow.WEIGHT_STATIONARY, bias=bias
+        )
+        assert np.array_equal(result.output, reference_gemm(a, b, bias=bias))
+
+    def test_wrapping_accumulation(self, mesh4):
+        # Large K forces INT32 overflow; wrap must match the reference.
+        a = np.full((2, 300000), 127, dtype=np.int64)
+        b = np.full((300000, 2), 127, dtype=np.int64)
+        result = TiledGemm(FunctionalSimulator(mesh4), tile_k=4)(
+            a, b, Dataflow.OUTPUT_STATIONARY
+        )
+        assert np.array_equal(result.output, reference_gemm(a, b))
+
+    def test_plan_travels_with_result(self, mesh4, rng):
+        a = rng.integers(-10, 10, size=(9, 4))
+        b = rng.integers(-10, 10, size=(4, 9))
+        result = TiledGemm(FunctionalSimulator(mesh4))(a, b, Dataflow.WEIGHT_STATIONARY)
+        assert result.plan.is_tiled
+        assert result.shape == (9, 9)
+
+
+class TestReductionModes:
+    def test_modes_identical_on_golden_mesh(self, mesh4, rng):
+        a = rng.integers(-128, 128, size=(10, 10))
+        b = rng.integers(-128, 128, size=(10, 10))
+        for dataflow in Dataflow:
+            mesh_mode = TiledGemm(FunctionalSimulator(mesh4), reduction="mesh")
+            mem_mode = TiledGemm(FunctionalSimulator(mesh4), reduction="memory")
+            assert np.array_equal(
+                mesh_mode(a, b, dataflow).output, mem_mode(a, b, dataflow).output
+            )
+
+    def test_modes_share_pattern_class_under_fault(self, mesh4):
+        ones = np.ones((12, 12), dtype=np.int64)
+        golden = reference_gemm(ones, ones)
+        inj = stuck_at(1, 2, bit=20)
+        for mode in ("mesh", "memory"):
+            out = TiledGemm(FunctionalSimulator(mesh4, inj), reduction=mode)(
+                ones, ones, Dataflow.WEIGHT_STATIONARY
+            ).output
+            diff_cols = sorted(set(np.where(golden != out)[1]))
+            assert diff_cols == [2, 6, 10]
+
+    def test_invalid_mode_rejected(self, mesh4):
+        with pytest.raises(ValueError):
+            TiledGemm(FunctionalSimulator(mesh4), reduction="bogus")
+
+
+class TestFaultyTiling:
+    def test_ws_fault_repeats_across_column_tiles(self, mesh4):
+        ones = np.ones((12, 12), dtype=np.int64)
+        golden = reference_gemm(ones, ones)
+        faulty = TiledGemm(FunctionalSimulator(mesh4, stuck_at(2, 1)))(
+            ones, ones, Dataflow.WEIGHT_STATIONARY
+        ).output
+        diff = golden != faulty
+        for col in (1, 5, 9):
+            assert diff[:, col].all()
+        assert diff.sum() == 3 * 12
+
+    def test_os_fault_repeats_across_all_output_tiles(self, mesh4):
+        ones = np.ones((12, 12), dtype=np.int64)
+        golden = reference_gemm(ones, ones)
+        faulty = TiledGemm(FunctionalSimulator(mesh4, stuck_at(2, 1)))(
+            ones, ones, Dataflow.OUTPUT_STATIONARY
+        ).output
+        coords = set(zip(*np.where(golden != faulty)))
+        assert coords == {(r, c) for r in (2, 6, 10) for c in (1, 5, 9)}
+
+    def test_edge_tiles_drop_out_of_range_fault(self, mesh4):
+        # 10x10 on a 4x4 mesh: last tile is 2 wide; a fault in mesh col 3
+        # has no image in that tile.
+        ones = np.ones((10, 10), dtype=np.int64)
+        golden = reference_gemm(ones, ones)
+        faulty = TiledGemm(FunctionalSimulator(mesh4, stuck_at(0, 3)))(
+            ones, ones, Dataflow.WEIGHT_STATIONARY
+        ).output
+        cols = sorted(set(np.where(golden != faulty)[1]))
+        assert cols == [3, 7]  # no column 11
+
+
+class TestValidation:
+    def test_bias_shape_checked(self, mesh4):
+        gemm = TiledGemm(FunctionalSimulator(mesh4))
+        with pytest.raises(ValueError):
+            gemm(
+                np.ones((4, 4)),
+                np.ones((4, 4)),
+                Dataflow.OUTPUT_STATIONARY,
+                bias=np.ones((2, 2)),
+            )
+
+    def test_operand_shapes_checked(self, mesh4):
+        gemm = TiledGemm(FunctionalSimulator(mesh4))
+        with pytest.raises(ValueError):
+            gemm(np.ones((4, 3)), np.ones((4, 4)), Dataflow.OUTPUT_STATIONARY)
+        with pytest.raises(ValueError):
+            gemm(np.ones(4), np.ones((4, 4)), Dataflow.OUTPUT_STATIONARY)

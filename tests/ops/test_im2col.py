@@ -1,0 +1,118 @@
+"""Unit tests for the im2col convolution lowering (paper Section II-B)."""
+
+import numpy as np
+import pytest
+
+from repro.ops.im2col import ConvGeometry, col2im_output, im2col, kernel_to_matrix
+from repro.ops.reference import reference_conv2d, reference_gemm
+
+
+class TestConvGeometry:
+    def test_paper_notation_dimensions(self):
+        # 16x16 input, 3x3x3x8 kernel (RxSxCxK) -> paper Section II-B dims.
+        g = ConvGeometry(n=1, c=3, h=16, w=16, k=8, r=3, s=3)
+        assert (g.p, g.q) == (14, 14)
+        assert g.gemm_m == 1 * 14 * 14  # N*P*Q
+        assert g.gemm_k == 3 * 3 * 3  # C*R*S
+        assert g.gemm_n == 8  # K
+
+    def test_padding_and_stride(self):
+        g = ConvGeometry(n=1, c=1, h=8, w=8, k=1, r=3, s=3, stride=2, padding=1)
+        assert (g.p, g.q) == (4, 4)
+
+    def test_from_tensors(self):
+        x = np.zeros((2, 3, 10, 12))
+        w = np.zeros((5, 3, 3, 3))
+        g = ConvGeometry.from_tensors(x, w)
+        assert (g.n, g.c, g.h, g.w) == (2, 3, 10, 12)
+        assert (g.k, g.r, g.s) == (5, 3, 3)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ConvGeometry.from_tensors(
+                np.zeros((1, 3, 8, 8)), np.zeros((2, 4, 3, 3))
+            )
+
+    def test_kernel_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            ConvGeometry(n=1, c=1, h=2, w=2, k=1, r=3, s=3)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            ConvGeometry(n=0, c=1, h=4, w=4, k=1, r=1, s=1)
+        with pytest.raises(ValueError):
+            ConvGeometry(n=1, c=1, h=4, w=4, k=1, r=1, s=1, padding=-1)
+
+
+class TestIm2col:
+    def test_1x1_kernel_is_transpose_reshape(self, rng):
+        x = rng.integers(-10, 10, size=(1, 3, 4, 4))
+        g = ConvGeometry.from_tensors(x, np.zeros((2, 3, 1, 1)))
+        patches = im2col(x, g)
+        assert patches.shape == (16, 3)
+        # Row (p*4+q) must equal the channel vector at (p, q).
+        for p in range(4):
+            for q in range(4):
+                assert np.array_equal(patches[p * 4 + q], x[0, :, p, q])
+
+    def test_column_order_is_c_r_s(self, rng):
+        x = rng.integers(-10, 10, size=(1, 2, 3, 3))
+        g = ConvGeometry.from_tensors(x, np.zeros((1, 2, 2, 2)))
+        patches = im2col(x, g)
+        # First row = window at (0,0); column index = (c*R + r)*S + s.
+        window = x[0, :, 0:2, 0:2]
+        assert np.array_equal(patches[0], window.reshape(-1))
+
+    def test_shape_validation(self):
+        g = ConvGeometry(n=1, c=1, h=4, w=4, k=1, r=2, s=2)
+        with pytest.raises(ValueError):
+            im2col(np.zeros((1, 2, 4, 4)), g)
+
+    def test_lowering_equals_direct_convolution(self, rng):
+        x = rng.integers(-50, 50, size=(2, 3, 6, 7))
+        w = rng.integers(-50, 50, size=(4, 3, 3, 2))
+        g = ConvGeometry.from_tensors(x, w, stride=1, padding=1)
+        gemm_out = reference_gemm(im2col(x, g), kernel_to_matrix(w, g))
+        lowered = col2im_output(gemm_out, g)
+        direct = reference_conv2d(x, w, padding=1)
+        assert np.array_equal(lowered, direct)
+
+    def test_lowering_with_stride(self, rng):
+        x = rng.integers(-50, 50, size=(1, 2, 9, 9))
+        w = rng.integers(-50, 50, size=(3, 2, 3, 3))
+        g = ConvGeometry.from_tensors(x, w, stride=2)
+        gemm_out = reference_gemm(im2col(x, g), kernel_to_matrix(w, g))
+        assert np.array_equal(
+            col2im_output(gemm_out, g), reference_conv2d(x, w, stride=2)
+        )
+
+
+class TestKernelToMatrix:
+    def test_channel_is_column(self, rng):
+        w = rng.integers(-10, 10, size=(5, 2, 3, 3))
+        g = ConvGeometry(n=1, c=2, h=8, w=8, k=5, r=3, s=3)
+        matrix = kernel_to_matrix(w, g)
+        assert matrix.shape == (18, 5)
+        # Column k is kernel k flattened in (C, R, S) order.
+        for k in range(5):
+            assert np.array_equal(matrix[:, k], w[k].reshape(-1))
+
+    def test_shape_validation(self):
+        g = ConvGeometry(n=1, c=2, h=8, w=8, k=5, r=3, s=3)
+        with pytest.raises(ValueError):
+            kernel_to_matrix(np.zeros((5, 3, 3, 3)), g)
+
+
+class TestCol2im:
+    def test_roundtrip_indexing(self, rng):
+        g = ConvGeometry(n=2, c=1, h=5, w=5, k=3, r=2, s=2)
+        matrix = rng.integers(-10, 10, size=(g.gemm_m, g.k))
+        out = col2im_output(matrix, g)
+        assert out.shape == (2, 3, 4, 4)
+        # Row index (n*P + p)*Q + q and column k map to out[n, k, p, q].
+        assert out[1, 2, 3, 0] == matrix[(1 * 4 + 3) * 4 + 0, 2]
+
+    def test_shape_validation(self):
+        g = ConvGeometry(n=1, c=1, h=4, w=4, k=2, r=2, s=2)
+        with pytest.raises(ValueError):
+            col2im_output(np.zeros((5, 2)), g)

@@ -1,0 +1,80 @@
+"""Unit tests for the golden numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.ops.reference import reference_conv2d, reference_gemm, uniform_ones
+
+
+class TestReferenceGemm:
+    def test_small_product(self):
+        a = np.array([[1, 2], [3, 4]])
+        b = np.array([[5, 6], [7, 8]])
+        assert np.array_equal(reference_gemm(a, b), a @ b)
+
+    def test_operands_wrap_to_int8(self):
+        # 130 wraps to -126 before multiplying.
+        out = reference_gemm(np.array([[130]]), np.array([[1]]))
+        assert out[0, 0] == -126
+
+    def test_accumulator_wraps_to_int32(self):
+        k = 200000
+        a = np.full((1, k), 127, dtype=np.int64)
+        b = np.full((k, 1), 127, dtype=np.int64)
+        expected = ((127 * 127 * k + 2**31) % 2**32) - 2**31
+        assert reference_gemm(a, b)[0, 0] == expected
+
+    def test_bias(self):
+        a = np.eye(2, dtype=np.int64)
+        b = np.eye(2, dtype=np.int64)
+        bias = np.array([[10, 0], [0, -10]])
+        assert np.array_equal(reference_gemm(a, b, bias=bias), np.eye(2) + bias)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            reference_gemm(np.ones((2, 3)), np.ones((2, 3)))
+
+
+class TestReferenceConv2d:
+    def test_known_3x3_sum(self):
+        x = np.ones((1, 1, 3, 3), dtype=np.int64)
+        w = np.ones((1, 1, 3, 3), dtype=np.int64)
+        out = reference_conv2d(x, w)
+        assert out.shape == (1, 1, 1, 1)
+        assert out[0, 0, 0, 0] == 9
+
+    def test_padding_grows_output(self):
+        x = np.ones((1, 1, 3, 3), dtype=np.int64)
+        w = np.ones((1, 1, 3, 3), dtype=np.int64)
+        out = reference_conv2d(x, w, padding=1)
+        assert out.shape == (1, 1, 3, 3)
+        assert out[0, 0, 1, 1] == 9  # centre sees the full window
+        assert out[0, 0, 0, 0] == 4  # corner sees 2x2 of the input
+
+    def test_multi_channel_sum(self):
+        x = np.ones((1, 3, 2, 2), dtype=np.int64)
+        w = np.ones((2, 3, 2, 2), dtype=np.int64)
+        out = reference_conv2d(x, w)
+        assert out.shape == (1, 2, 1, 1)
+        assert np.all(out == 12)  # 3 channels * 4 taps
+
+    def test_bias_per_channel(self):
+        x = np.ones((1, 1, 2, 2), dtype=np.int64)
+        w = np.ones((2, 1, 2, 2), dtype=np.int64)
+        out = reference_conv2d(x, w, bias=np.array([100, -100]))
+        assert out[0, 0, 0, 0] == 104
+        assert out[0, 1, 0, 0] == -96
+
+    def test_bias_shape_checked(self):
+        with pytest.raises(ValueError):
+            reference_conv2d(
+                np.ones((1, 1, 2, 2)), np.ones((2, 1, 2, 2)), bias=np.ones(3)
+            )
+
+
+class TestUniformOnes:
+    def test_shape_and_value(self):
+        ones = uniform_ones(3, 4)
+        assert ones.shape == (3, 4)
+        assert np.all(ones == 1)
+        assert ones.dtype == np.int64

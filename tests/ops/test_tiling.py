@@ -1,0 +1,116 @@
+"""Unit tests for operation tiling (paper Section II-C)."""
+
+import pytest
+
+from repro.ops.tiling import TileRange, TilingPlan, plan_gemm_tiling, split_ranges
+from repro.systolic import Dataflow, MeshConfig
+
+
+class TestSplitRanges:
+    def test_exact_split(self):
+        ranges = split_ranges(8, 4)
+        assert [(r.start, r.stop) for r in ranges] == [(0, 4), (4, 8)]
+        assert [r.index for r in ranges] == [0, 1]
+
+    def test_ragged_tail(self):
+        ranges = split_ranges(10, 4)
+        assert [(r.start, r.stop) for r in ranges] == [(0, 4), (4, 8), (8, 10)]
+        assert ranges[-1].size == 2
+
+    def test_single_tile(self):
+        ranges = split_ranges(3, 16)
+        assert len(ranges) == 1
+        assert ranges[0].size == 3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            split_ranges(0, 4)
+        with pytest.raises(ValueError):
+            split_ranges(4, 0)
+
+    def test_tile_range_validation(self):
+        with pytest.raises(ValueError):
+            TileRange(index=0, start=2, stop=2)
+
+
+class TestPaperExample:
+    """Section II-C: a 4x4 GEMM on a 2x2 array splits into 2x2 tiles."""
+
+    def test_eq_2_to_4(self):
+        mesh = MeshConfig(2, 2)
+        plan = plan_gemm_tiling(4, 4, 4, mesh, Dataflow.OUTPUT_STATIONARY)
+        assert len(plan.m_tiles) == 2
+        assert len(plan.k_tiles) == 2
+        assert len(plan.n_tiles) == 2
+        # Eq. (4): four output tiles, each from two matmuls = 8 matmuls.
+        assert plan.num_output_tiles == 4
+        assert plan.num_tile_matmuls == 8
+
+
+class TestTilingPlan:
+    def test_untiled_when_fits(self, mesh16):
+        plan = plan_gemm_tiling(16, 16, 16, mesh16, Dataflow.WEIGHT_STATIONARY)
+        assert not plan.is_tiled
+        assert plan.num_output_tiles == 1
+
+    def test_paper_112_config(self, mesh16):
+        plan = plan_gemm_tiling(112, 112, 112, mesh16, Dataflow.WEIGHT_STATIONARY)
+        assert plan.is_tiled
+        assert len(plan.m_tiles) == 7
+        assert plan.num_output_tiles == 49
+        assert plan.num_tile_matmuls == 343
+
+    def test_reduction_only_tiling_is_not_spatial(self, mesh4):
+        # K > mesh but M, N fit: reduction tiles accumulate in place.
+        plan = plan_gemm_tiling(4, 20, 4, mesh4, Dataflow.OUTPUT_STATIONARY,
+                                tile_k=4)
+        assert len(plan.k_tiles) == 5
+        assert not plan.is_tiled
+
+    def test_output_tiles_row_major(self, mesh4):
+        plan = plan_gemm_tiling(8, 4, 8, mesh4, Dataflow.OUTPUT_STATIONARY)
+        order = [(m.index, n.index) for m, n in plan.output_tiles()]
+        assert order == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_output_rows_for_mesh_row(self, mesh4):
+        plan = plan_gemm_tiling(10, 4, 4, mesh4, Dataflow.OUTPUT_STATIONARY)
+        # mesh row 1 maps to global rows 1, 5, 9
+        assert plan.output_rows_for_mesh_row(1) == (1, 5, 9)
+        # mesh row 3 maps to 3, 7 — the last tile has only 2 rows
+        assert plan.output_rows_for_mesh_row(3) == (3, 7)
+
+    def test_output_cols_for_mesh_col(self, mesh4):
+        plan = plan_gemm_tiling(4, 4, 9, mesh4, Dataflow.WEIGHT_STATIONARY)
+        assert plan.output_cols_for_mesh_col(0) == (0, 4, 8)
+        assert plan.output_cols_for_mesh_col(2) == (2, 6)
+
+
+class TestValidation:
+    def test_os_constraints(self, mesh4):
+        with pytest.raises(ValueError):
+            plan_gemm_tiling(8, 4, 4, mesh4, Dataflow.OUTPUT_STATIONARY, tile_m=8)
+        with pytest.raises(ValueError):
+            plan_gemm_tiling(4, 4, 8, mesh4, Dataflow.OUTPUT_STATIONARY, tile_n=8)
+
+    def test_ws_constraints(self, mesh4):
+        with pytest.raises(ValueError):
+            plan_gemm_tiling(4, 8, 4, mesh4, Dataflow.WEIGHT_STATIONARY, tile_k=8)
+        with pytest.raises(ValueError):
+            plan_gemm_tiling(4, 4, 8, mesh4, Dataflow.WEIGHT_STATIONARY, tile_n=8)
+
+    def test_ws_allows_large_tile_m(self, mesh4):
+        # M is the stream dimension under WS — no mesh constraint.
+        plan = plan_gemm_tiling(
+            100, 4, 4, mesh4, Dataflow.WEIGHT_STATIONARY, tile_m=100
+        )
+        assert len(plan.m_tiles) == 1
+
+    def test_os_allows_large_tile_k(self, mesh4):
+        plan = plan_gemm_tiling(
+            4, 100, 4, mesh4, Dataflow.OUTPUT_STATIONARY, tile_k=100
+        )
+        assert len(plan.k_tiles) == 1
+
+    def test_nonpositive_dims_rejected(self, mesh4):
+        with pytest.raises(ValueError):
+            plan_gemm_tiling(0, 4, 4, mesh4, Dataflow.OUTPUT_STATIONARY)

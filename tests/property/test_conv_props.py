@@ -1,0 +1,122 @@
+"""Property tests for the convolution channel mapping under faults.
+
+The RQ2 mechanism as universally-quantified statements: output channel k
+is GEMM column k (Section II-B), so a WS fault in mesh column c corrupts
+exactly the channels {c, c + cols, c + 2*cols, ...} that exist — fully,
+at every spatial position, for anti-masking operands.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fault_patterns import extract_pattern
+from repro.faults import FaultInjector, FaultSite
+from repro.ops.conv import SystolicConv2d
+from repro.ops.im2col import ConvGeometry
+from repro.ops.reference import reference_conv2d
+from repro.systolic import Dataflow, FunctionalSimulator, MeshConfig
+
+MESH = MeshConfig(4, 4)
+
+channels = st.integers(min_value=1, max_value=3)
+out_channels = st.integers(min_value=1, max_value=9)
+spatial = st.integers(min_value=3, max_value=8)
+kernel = st.integers(min_value=1, max_value=3)
+coords = st.integers(min_value=0, max_value=3)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@settings(max_examples=60, deadline=None)
+@given(c=channels, k=out_channels, hw=spatial, rs=kernel,
+       row=coords, col=coords)
+def test_ws_fault_corrupts_exactly_the_mapped_channels(c, k, hw, rs, row, col):
+    x = np.ones((1, c, hw, hw), dtype=np.int64)
+    w = np.ones((k, c, rs, rs), dtype=np.int64)
+    golden = reference_conv2d(x, w)
+    injector = FaultInjector.single_stuck_at(FaultSite(row, col, "sum", 20), 1)
+    conv = SystolicConv2d(
+        FunctionalSimulator(MESH, injector), Dataflow.WEIGHT_STATIONARY
+    )
+    result = conv(x, w)
+    pattern = extract_pattern(
+        golden, result.output, plan=result.plan, geometry=result.geometry
+    )
+    # Channels mapped to mesh column `col` across column tiles:
+    expected = tuple(result.plan.output_cols_for_mesh_col(col))
+    assert pattern.corrupted_channels() == expected
+    # And each corrupted channel is corrupted at EVERY spatial position
+    # (the paper's "entire output channel").
+    for channel in expected:
+        assert pattern.channel_mask(channel).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(c=channels, k=out_channels, hw=spatial, rs=kernel,
+       seed=seeds, row=coords, col=coords, stride=st.integers(1, 2),
+       padding=st.integers(0, 1))
+def test_conv_pattern_equals_lowered_gemm_pattern(
+    c, k, hw, rs, seed, row, col, stride, padding
+):
+    """Faulty conv output diffs, viewed in GEMM space, equal the faulty
+    lowered-GEMM diffs — the conv path adds no fault behaviour of its own."""
+    if rs > hw:
+        rs = hw
+    rng = np.random.default_rng(seed)
+    x = rng.integers(-30, 30, size=(1, c, hw, hw))
+    w = rng.integers(-30, 30, size=(k, c, rs, rs))
+    injector = FaultInjector.single_stuck_at(FaultSite(row, col, "sum", 18), 1)
+
+    conv = SystolicConv2d(
+        FunctionalSimulator(MESH, injector),
+        Dataflow.WEIGHT_STATIONARY,
+        stride=stride,
+        padding=padding,
+    )
+    result = conv(x, w)
+    golden = reference_conv2d(x, w, stride=stride, padding=padding)
+    conv_pattern = extract_pattern(
+        golden, result.output, plan=result.plan, geometry=result.geometry
+    )
+
+    from repro.ops.gemm import TiledGemm
+    from repro.ops.im2col import im2col, kernel_to_matrix
+    from repro.ops.reference import reference_gemm
+
+    g = result.geometry
+    patches = im2col(x, g)
+    weights = kernel_to_matrix(w, g)
+    gemm_result = TiledGemm(FunctionalSimulator(MESH, injector))(
+        patches, weights, Dataflow.WEIGHT_STATIONARY
+    )
+    gemm_pattern = extract_pattern(
+        reference_gemm(patches, weights), gemm_result.output,
+        plan=gemm_result.plan,
+    )
+    assert np.array_equal(conv_pattern.gemm_mask(), gemm_pattern.mask)
+
+
+@settings(max_examples=40, deadline=None)
+@given(c=channels, k=out_channels, hw=spatial, rs=kernel, col=coords)
+def test_channel_count_rule(c, k, hw, rs, col):
+    """Single- vs multi-channel is decided by channel-dimension tiling:
+    multi iff more than one column tile maps mesh column `col`."""
+    if rs > hw:
+        rs = hw
+    g = ConvGeometry(n=1, c=c, h=hw, w=hw, k=k, r=rs, s=rs)
+    from repro.core.classifier import PatternClass
+    from repro.core.predictor import predict_pattern
+    from repro.ops.tiling import plan_gemm_tiling
+
+    plan = plan_gemm_tiling(
+        g.gemm_m, g.gemm_k, g.gemm_n, MESH, Dataflow.WEIGHT_STATIONARY
+    )
+    predicted = predict_pattern(FaultSite(0, col), plan, geometry=g)
+    mapped = plan.output_cols_for_mesh_col(col)
+    if not mapped:
+        assert predicted.pattern_class is PatternClass.MASKED
+    elif len(mapped) == 1:
+        assert predicted.pattern_class is PatternClass.SINGLE_CHANNEL
+    else:
+        assert predicted.pattern_class is PatternClass.MULTI_CHANNEL
+    assert predicted.channels == mapped

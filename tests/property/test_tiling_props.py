@@ -1,0 +1,109 @@
+"""Property-based tests for tiling, lowering, and executor invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ops.gemm import TiledGemm
+from repro.ops.im2col import ConvGeometry, col2im_output, im2col, kernel_to_matrix
+from repro.ops.reference import reference_conv2d, reference_gemm
+from repro.ops.tiling import plan_gemm_tiling, split_ranges
+from repro.systolic import Dataflow, FunctionalSimulator, MeshConfig
+
+MESH = MeshConfig(4, 4)
+
+dims = st.integers(min_value=1, max_value=14)
+seeds = st.integers(min_value=0, max_value=2**31)
+dataflows = st.sampled_from(list(Dataflow))
+
+
+class TestSplitRangesProperties:
+    @given(
+        extent=st.integers(min_value=1, max_value=500),
+        tile=st.integers(min_value=1, max_value=64),
+    )
+    def test_partition(self, extent, tile):
+        ranges = split_ranges(extent, tile)
+        # Contiguous, disjoint, covering [0, extent).
+        assert ranges[0].start == 0
+        assert ranges[-1].stop == extent
+        for prev, cur in zip(ranges, ranges[1:]):
+            assert prev.stop == cur.start
+        assert all(0 < r.size <= tile for r in ranges)
+        assert sum(r.size for r in ranges) == extent
+
+
+class TestTiledGemmProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(m=dims, k=dims, n=dims, seed=seeds, dataflow=dataflows)
+    def test_tiled_equals_reference(self, m, k, n, seed, dataflow):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-128, 128, size=(m, k))
+        b = rng.integers(-128, 128, size=(k, n))
+        result = TiledGemm(FunctionalSimulator(MESH))(a, b, dataflow)
+        assert np.array_equal(result.output, reference_gemm(a, b))
+
+    @settings(max_examples=30, deadline=None)
+    @given(m=dims, k=dims, n=dims, seed=seeds, dataflow=dataflows)
+    def test_reduction_modes_agree_golden(self, m, k, n, seed, dataflow):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-128, 128, size=(m, k))
+        b = rng.integers(-128, 128, size=(k, n))
+        mesh_mode = TiledGemm(FunctionalSimulator(MESH), reduction="mesh")
+        memory_mode = TiledGemm(FunctionalSimulator(MESH), reduction="memory")
+        assert np.array_equal(
+            mesh_mode(a, b, dataflow).output, memory_mode(a, b, dataflow).output
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(m=dims, k=dims, n=dims, dataflow=dataflows)
+    def test_plan_geometry_invariants(self, m, k, n, dataflow):
+        plan = plan_gemm_tiling(m, k, n, MESH, dataflow)
+        assert plan.num_output_tiles == len(plan.m_tiles) * len(plan.n_tiles)
+        assert plan.num_tile_matmuls == plan.num_output_tiles * len(plan.k_tiles)
+        # Every output cell belongs to exactly one tile.
+        covered = np.zeros((m, n), dtype=int)
+        for m_range, n_range in plan.output_tiles():
+            covered[m_range.start : m_range.stop, n_range.start : n_range.stop] += 1
+        assert np.all(covered == 1)
+
+
+class TestConvLoweringProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=2),
+        c=st.integers(min_value=1, max_value=3),
+        hw=st.integers(min_value=3, max_value=8),
+        k=st.integers(min_value=1, max_value=4),
+        rs=st.integers(min_value=1, max_value=3),
+        stride=st.integers(min_value=1, max_value=2),
+        padding=st.integers(min_value=0, max_value=1),
+        seed=seeds,
+    )
+    def test_im2col_gemm_equals_direct_conv(
+        self, n, c, hw, k, rs, stride, padding, seed
+    ):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(-30, 30, size=(n, c, hw, hw))
+        w = rng.integers(-30, 30, size=(k, c, rs, rs))
+        geometry = ConvGeometry.from_tensors(x, w, stride=stride, padding=padding)
+        lowered = col2im_output(
+            reference_gemm(im2col(x, geometry), kernel_to_matrix(w, geometry)),
+            geometry,
+        )
+        direct = reference_conv2d(x, w, stride=stride, padding=padding)
+        assert np.array_equal(lowered, direct)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        c=st.integers(min_value=1, max_value=3),
+        hw=st.integers(min_value=3, max_value=8),
+        k=st.integers(min_value=1, max_value=4),
+        rs=st.integers(min_value=1, max_value=3),
+    )
+    def test_geometry_dimensions_consistent(self, c, hw, k, rs):
+        g = ConvGeometry(n=1, c=c, h=hw, w=hw, k=k, r=rs, s=rs)
+        assert g.gemm_m == g.n * g.p * g.q
+        assert g.gemm_k == c * rs * rs
+        assert g.gemm_n == k
+        assert g.p == hw - rs + 1

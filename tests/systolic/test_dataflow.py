@@ -1,0 +1,118 @@
+"""Unit tests for the OS/WS tile schedules."""
+
+import numpy as np
+import pytest
+
+from repro.systolic.array import MeshConfig, SystolicArray
+from repro.systolic.dataflow import (
+    Dataflow,
+    OutputStationarySchedule,
+    WeightStationarySchedule,
+    make_schedule,
+)
+
+
+def run_schedule(schedule, config: MeshConfig) -> np.ndarray:
+    array = SystolicArray(config)
+    schedule.setup(array)
+    for cycle in range(schedule.total_cycles):
+        schedule.step(array, cycle)
+        schedule.harvest(array, cycle)
+    return schedule.result(array)
+
+
+class TestOutputStationary:
+    def test_square_matmul(self, mesh4, rng):
+        a = rng.integers(-10, 10, size=(4, 4))
+        b = rng.integers(-10, 10, size=(4, 4))
+        out = run_schedule(OutputStationarySchedule(a, b), mesh4)
+        assert np.array_equal(out, a @ b)
+
+    def test_rectangular_matmul(self, mesh4, rng):
+        a = rng.integers(-10, 10, size=(3, 7))
+        b = rng.integers(-10, 10, size=(7, 2))
+        out = run_schedule(OutputStationarySchedule(a, b), mesh4)
+        assert np.array_equal(out, a @ b)
+
+    def test_long_reduction_stream(self, mesh4, rng):
+        # K may exceed the mesh: it is the stream length under OS.
+        a = rng.integers(-5, 5, size=(2, 40))
+        b = rng.integers(-5, 5, size=(40, 3))
+        out = run_schedule(OutputStationarySchedule(a, b), mesh4)
+        assert np.array_equal(out, a @ b)
+
+    def test_bias_preload(self, mesh4):
+        a = np.ones((2, 2), dtype=np.int64)
+        b = np.ones((2, 2), dtype=np.int64)
+        bias = np.array([[10, 20], [30, 40]])
+        out = run_schedule(OutputStationarySchedule(a, b, bias=bias), mesh4)
+        assert np.array_equal(out, a @ b + bias)
+
+    def test_oversized_tile_rejected(self, mesh4):
+        schedule = OutputStationarySchedule(np.ones((5, 2)), np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            schedule.setup(SystolicArray(mesh4))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            OutputStationarySchedule(np.ones((2, 3)), np.ones((2, 2)))
+
+    def test_total_cycles_formula(self):
+        schedule = OutputStationarySchedule(np.ones((3, 5)), np.ones((5, 2)))
+        assert schedule.total_cycles == (3 - 1) + (2 - 1) + 5
+
+
+class TestWeightStationary:
+    def test_square_matmul(self, mesh4, rng):
+        a = rng.integers(-10, 10, size=(4, 4))
+        w = rng.integers(-10, 10, size=(4, 4))
+        out = run_schedule(WeightStationarySchedule(a, w), mesh4)
+        assert np.array_equal(out, a @ w)
+
+    def test_long_output_stream(self, mesh4, rng):
+        # M may exceed the mesh: output rows stream through under WS.
+        a = rng.integers(-5, 5, size=(30, 4))
+        w = rng.integers(-5, 5, size=(4, 3))
+        out = run_schedule(WeightStationarySchedule(a, w), mesh4)
+        assert np.array_equal(out, a @ w)
+
+    def test_small_weight_tile(self, mesh4, rng):
+        # K < rows: psums pass through zero-weight mesh rows untouched.
+        a = rng.integers(-5, 5, size=(6, 2))
+        w = rng.integers(-5, 5, size=(2, 3))
+        out = run_schedule(WeightStationarySchedule(a, w), mesh4)
+        assert np.array_equal(out, a @ w)
+
+    def test_bias_feed(self, mesh4):
+        a = np.ones((3, 2), dtype=np.int64)
+        w = np.ones((2, 2), dtype=np.int64)
+        bias = np.arange(6).reshape(3, 2)
+        out = run_schedule(WeightStationarySchedule(a, w, bias=bias), mesh4)
+        assert np.array_equal(out, a @ w + bias)
+
+    def test_oversized_weights_rejected(self, mesh4):
+        schedule = WeightStationarySchedule(np.ones((2, 5)), np.ones((5, 2)))
+        with pytest.raises(ValueError):
+            schedule.setup(SystolicArray(mesh4))
+
+    def test_total_cycles_requires_setup(self):
+        schedule = WeightStationarySchedule(np.ones((2, 2)), np.ones((2, 2)))
+        with pytest.raises(RuntimeError):
+            _ = schedule.total_cycles
+
+
+class TestMakeSchedule:
+    def test_dispatch(self):
+        a, b = np.ones((2, 2)), np.ones((2, 2))
+        assert isinstance(
+            make_schedule(Dataflow.OUTPUT_STATIONARY, a, b),
+            OutputStationarySchedule,
+        )
+        assert isinstance(
+            make_schedule(Dataflow.WEIGHT_STATIONARY, a, b),
+            WeightStationarySchedule,
+        )
+
+    def test_dataflow_str(self):
+        assert str(Dataflow.OUTPUT_STATIONARY) == "OS"
+        assert str(Dataflow.WEIGHT_STATIONARY) == "WS"

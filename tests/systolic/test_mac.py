@@ -1,0 +1,102 @@
+"""Unit tests for the MAC datapath model."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultSet, FaultSite, StuckAtFault
+from repro.faults.sites import (
+    SIGNAL_A_REG,
+    SIGNAL_B_REG,
+    SIGNAL_PRODUCT,
+    SIGNAL_SUM,
+)
+from repro.systolic.mac import MacUnit
+from repro.systolic.signals import RecordingProbe
+
+
+class TestGoldenDatapath:
+    def test_basic_mac(self):
+        mac = MacUnit(row=0, col=0)
+        assert mac.compute(3, 4, 10, cycle=0) == 22
+
+    def test_negative_operands(self):
+        mac = MacUnit(row=0, col=0)
+        assert mac.compute(-3, 4, 0, cycle=0) == -12
+        assert mac.compute(-3, -4, 0, cycle=0) == 12
+
+    def test_operands_wrap_to_int8(self):
+        mac = MacUnit(row=0, col=0)
+        # 200 wraps to -56 in INT8, as the narrow operand register would.
+        assert mac.compute(200, 1, 0, cycle=0) == -56
+
+    def test_accumulator_wraps_int32(self):
+        mac = MacUnit(row=0, col=0)
+        assert mac.compute(1, 1, 2**31 - 1, cycle=0) == -(2**31)
+
+    def test_not_faulty_by_default(self):
+        assert not MacUnit(row=0, col=0).is_faulty
+
+
+class TestFaultyDatapath:
+    def _mac(self, signal: str, bit: int, stuck: int = 1) -> MacUnit:
+        inj = FaultInjector.single_stuck_at(
+            FaultSite(row=1, col=2, signal=signal, bit=bit), stuck
+        )
+        return MacUnit(row=1, col=2, injector=inj)
+
+    def test_sum_fault_forces_output_bit(self):
+        mac = self._mac(SIGNAL_SUM, 4)
+        assert mac.compute(0, 0, 0, cycle=0) == 16
+        assert mac.compute(1, 1, 0, cycle=0) == 17
+
+    def test_sum_fault_masked_when_bit_set(self):
+        mac = self._mac(SIGNAL_SUM, 4)
+        assert mac.compute(4, 4, 0, cycle=0) == 16  # 16 already has bit 4
+
+    def test_product_fault_feeds_adder(self):
+        mac = self._mac(SIGNAL_PRODUCT, 4)
+        # product = 0 forced to 16; sum = 16 + addend
+        assert mac.compute(0, 0, 100, cycle=0) == 116
+
+    def test_a_reg_fault_propagates_through_multiply(self):
+        mac = self._mac(SIGNAL_A_REG, 1)
+        # a = 0 forced to 2; 2 * 3 + 0 = 6
+        assert mac.compute(0, 3, 0, cycle=0) == 6
+
+    def test_b_reg_fault_propagates_through_multiply(self):
+        mac = self._mac(SIGNAL_B_REG, 0)
+        # b = 0 forced to 1; 5 * 1 + 1 = 6
+        assert mac.compute(5, 0, 1, cycle=0) == 6
+
+    def test_fault_on_other_mac_has_no_effect(self):
+        inj = FaultInjector.single_stuck_at(FaultSite(0, 0, SIGNAL_SUM, 4))
+        mac = MacUnit(row=1, col=1, injector=inj)
+        assert not mac.is_faulty
+        assert mac.compute(0, 0, 0, cycle=0) == 0
+
+    def test_is_faulty_flag(self):
+        assert self._mac(SIGNAL_SUM, 0).is_faulty
+
+
+class TestProbing:
+    def test_probe_sees_datapath_order(self):
+        probe = RecordingProbe()
+        mac = MacUnit(row=0, col=0, probe=probe)
+        mac.compute(2, 3, 4, cycle=9)
+        signals = [e.signal for e in probe.events]
+        assert signals == [SIGNAL_A_REG, SIGNAL_B_REG, SIGNAL_PRODUCT, SIGNAL_SUM]
+        values = probe.values()
+        assert values == [2, 3, 6, 10]
+        assert all(e.cycle == 9 for e in probe.events)
+
+    def test_probe_sees_post_fault_values(self):
+        inj = FaultInjector.single_stuck_at(FaultSite(0, 0, SIGNAL_SUM, 4))
+        probe = RecordingProbe(signal=SIGNAL_SUM)
+        mac = MacUnit(row=0, col=0, injector=inj, probe=probe)
+        mac.compute(0, 0, 0, cycle=0)
+        assert probe.values() == [16]
+
+    def test_probe_filters_by_mac(self):
+        probe = RecordingProbe(mac=(5, 5))
+        mac = MacUnit(row=0, col=0, probe=probe)
+        mac.compute(1, 1, 0, cycle=0)
+        assert probe.events == []

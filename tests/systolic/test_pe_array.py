@@ -1,0 +1,131 @@
+"""Unit tests for the processing element and the mesh wiring."""
+
+import numpy as np
+import pytest
+
+from repro.systolic.array import MeshConfig, SystolicArray
+from repro.systolic.mac import MacUnit
+from repro.systolic.pe import ProcessingElement
+
+
+class TestProcessingElement:
+    def test_initial_state_is_zero(self):
+        pe = ProcessingElement(MacUnit(0, 0))
+        assert pe.a_out == 0 and pe.down_out == 0 and pe.acc == 0
+        assert pe.weight == 0
+
+    def test_os_step_accumulates_after_commit(self):
+        pe = ProcessingElement(MacUnit(0, 0))
+        pe.stage_output_stationary(2, 3, cycle=0)
+        assert pe.acc == 0  # staged, not committed
+        pe.commit()
+        assert pe.acc == 6
+        pe.stage_output_stationary(4, 5, cycle=1)
+        pe.commit()
+        assert pe.acc == 26
+
+    def test_os_step_forwards_operands(self):
+        pe = ProcessingElement(MacUnit(0, 0))
+        pe.stage_output_stationary(7, 9, cycle=0)
+        pe.commit()
+        assert pe.a_out == 7
+        assert pe.down_out == 9
+
+    def test_ws_step_forwards_partial_sum(self):
+        pe = ProcessingElement(MacUnit(0, 0))
+        pe.preload_weight(4)
+        pe.stage_weight_stationary(a_in=3, psum_in=10, cycle=0)
+        pe.commit()
+        assert pe.down_out == 22  # 10 + 3*4
+        assert pe.a_out == 3
+
+    def test_ws_preserves_accumulator(self):
+        pe = ProcessingElement(MacUnit(0, 0))
+        pe.preload_accumulator(42)
+        pe.stage_weight_stationary(1, 0, cycle=0)
+        pe.commit()
+        assert pe.acc == 42
+
+    def test_weight_preload_wraps_to_int8(self):
+        pe = ProcessingElement(MacUnit(0, 0))
+        pe.preload_weight(130)
+        assert pe.weight == -126
+
+    def test_reset_clears_everything(self):
+        pe = ProcessingElement(MacUnit(0, 0))
+        pe.preload_weight(5)
+        pe.stage_output_stationary(2, 2, cycle=0)
+        pe.commit()
+        pe.reset_state()
+        assert pe.acc == 0 and pe.weight == 0 and pe.a_out == 0
+
+
+class TestMeshConfig:
+    def test_paper_config(self):
+        cfg = MeshConfig.paper()
+        assert (cfg.rows, cfg.cols) == (16, 16)
+        assert cfg.num_macs == 256
+        assert cfg.input_dtype.width == 8
+        assert cfg.acc_dtype.width == 32
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            MeshConfig(rows=0, cols=4)
+
+
+class TestSystolicArray:
+    def test_pe_grid_shape(self, mesh_rect):
+        array = SystolicArray(mesh_rect)
+        assert array.pe(2, 4) is not None
+        with pytest.raises(IndexError):
+            array.pe(3, 0)
+
+    def test_preload_weights_pads_with_zero(self, mesh4):
+        array = SystolicArray(mesh4)
+        array.preload_weights(np.array([[1, 2], [3, 4]]))
+        assert array.pe(0, 0).weight == 1
+        assert array.pe(1, 1).weight == 4
+        assert array.pe(2, 2).weight == 0
+        assert array.pe(3, 3).weight == 0
+
+    def test_preload_oversized_weights_rejected(self, mesh4):
+        array = SystolicArray(mesh4)
+        with pytest.raises(ValueError):
+            array.preload_weights(np.ones((5, 2)))
+
+    def test_preload_accumulators(self, mesh4):
+        array = SystolicArray(mesh4)
+        array.preload_accumulators(np.array([[5, 6]]))
+        assert array.pe(0, 0).acc == 5
+        assert array.pe(0, 1).acc == 6
+
+    def test_os_step_wavefront_propagation(self, mesh4):
+        """A value fed at the west edge takes one cycle per hop eastwards."""
+        array = SystolicArray(mesh4)
+        feeds = [9, 0, 0, 0]
+        zeros = [0, 0, 0, 0]
+        array.step_output_stationary(feeds, zeros, cycle=0)
+        assert array.pe(0, 0).a_out == 9
+        assert array.pe(0, 1).a_out == 0
+        array.step_output_stationary(zeros, zeros, cycle=1)
+        assert array.pe(0, 1).a_out == 9
+        assert array.pe(0, 2).a_out == 0
+
+    def test_ws_psum_flows_south(self, mesh4):
+        array = SystolicArray(mesh4)
+        array.preload_weights(np.zeros((4, 4)))
+        array.step_weight_stationary([0] * 4, [11, 0, 0, 0], cycle=0)
+        assert array.pe(0, 0).down_out == 11
+        array.step_weight_stationary([0] * 4, [0] * 4, cycle=1)
+        assert array.pe(1, 0).down_out == 11
+
+    def test_read_accumulators_subblock(self, mesh4):
+        array = SystolicArray(mesh4)
+        array.preload_accumulators(np.arange(16).reshape(4, 4))
+        block = array.read_accumulators(2, 3)
+        assert block.shape == (2, 3)
+        assert block[1, 2] == 6
+
+    def test_bottom_outputs_length(self, mesh_rect):
+        array = SystolicArray(mesh_rect)
+        assert len(array.bottom_outputs(4)) == 4

@@ -1,0 +1,188 @@
+"""Unit tests for the cycle and functional engines (plus fault behaviour).
+
+The exhaustive randomised equivalence between the two engines lives in
+``tests/property/test_engine_equivalence.py``; these tests pin down the
+specific behaviours the paper depends on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultSet,
+    FaultSite,
+    StuckAtFault,
+    TransientBitFlip,
+)
+from repro.systolic import CycleSimulator, Dataflow, FunctionalSimulator, MeshConfig
+
+from tests.conftest import stuck_at
+
+
+ENGINES = [CycleSimulator, FunctionalSimulator]
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+class TestGolden:
+    def test_matmul_matches_numpy(self, engine_cls, mesh4, rng):
+        a = rng.integers(-128, 128, size=(4, 4))
+        b = rng.integers(-128, 128, size=(4, 4))
+        for dataflow in Dataflow:
+            engine = engine_cls(mesh4)
+            assert np.array_equal(engine.matmul(a, b, dataflow), a @ b)
+
+    def test_identity(self, engine_cls, mesh4):
+        eye = np.eye(4, dtype=np.int64)
+        a = np.arange(16).reshape(4, 4)
+        for dataflow in Dataflow:
+            engine = engine_cls(mesh4)
+            assert np.array_equal(engine.matmul(a, eye, dataflow), a)
+
+    def test_cycles_accounted(self, engine_cls, mesh4):
+        engine = engine_cls(mesh4)
+        engine.matmul(np.ones((4, 4)), np.ones((4, 4)), Dataflow.OUTPUT_STATIONARY)
+        assert engine.cycles_elapsed > 0
+        assert engine.tiles_executed == 1
+
+    def test_dimension_mismatch_rejected(self, engine_cls, mesh4):
+        engine = engine_cls(mesh4)
+        with pytest.raises(ValueError):
+            engine.matmul(
+                np.ones((2, 3)), np.ones((2, 2)), Dataflow.OUTPUT_STATIONARY
+            )
+
+    def test_oversized_tile_rejected(self, engine_cls, mesh4):
+        engine = engine_cls(mesh4)
+        with pytest.raises(ValueError):
+            engine.matmul(
+                np.ones((5, 4)), np.ones((4, 4)), Dataflow.OUTPUT_STATIONARY
+            )
+        with pytest.raises(ValueError):
+            engine.matmul(
+                np.ones((4, 5)), np.ones((5, 4)), Dataflow.WEIGHT_STATIONARY
+            )
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+class TestPaperFaultBehaviour:
+    """The RQ1 signatures: OS corrupts one element, WS a whole column."""
+
+    def test_os_single_element(self, engine_cls, mesh4):
+        ones = np.ones((4, 4), dtype=np.int64)
+        golden = engine_cls(mesh4).matmul(ones, ones, Dataflow.OUTPUT_STATIONARY)
+        faulty = engine_cls(mesh4, stuck_at(1, 2)).matmul(
+            ones, ones, Dataflow.OUTPUT_STATIONARY
+        )
+        diff = golden != faulty
+        assert diff.sum() == 1
+        assert diff[1, 2]
+
+    def test_ws_single_column(self, engine_cls, mesh4):
+        ones = np.ones((4, 4), dtype=np.int64)
+        golden = engine_cls(mesh4).matmul(ones, ones, Dataflow.WEIGHT_STATIONARY)
+        faulty = engine_cls(mesh4, stuck_at(1, 2)).matmul(
+            ones, ones, Dataflow.WEIGHT_STATIONARY
+        )
+        diff = golden != faulty
+        assert diff[:, 2].all()
+        assert not diff[:, [0, 1, 3]].any()
+
+    def test_ws_column_corrupted_even_from_zero_weight_row(
+        self, engine_cls, mesh4
+    ):
+        """Position independence: a fault below the weight tile still hits."""
+        a = np.ones((4, 2), dtype=np.int64)
+        w = np.ones((2, 4), dtype=np.int64)  # rows 2,3 of mesh hold zeros
+        golden = engine_cls(mesh4).matmul(a, w, Dataflow.WEIGHT_STATIONARY)
+        faulty = engine_cls(mesh4, stuck_at(3, 1)).matmul(
+            a, w, Dataflow.WEIGHT_STATIONARY
+        )
+        diff = golden != faulty
+        assert diff[:, 1].all()
+
+    def test_os_fault_outside_output_is_masked(self, engine_cls, mesh4):
+        a = np.ones((2, 4), dtype=np.int64)
+        b = np.ones((4, 2), dtype=np.int64)
+        golden = engine_cls(mesh4).matmul(a, b, Dataflow.OUTPUT_STATIONARY)
+        faulty = engine_cls(mesh4, stuck_at(3, 3)).matmul(
+            a, b, Dataflow.OUTPUT_STATIONARY
+        )
+        assert np.array_equal(golden, faulty)
+
+    def test_ws_fault_outside_used_columns_is_masked(self, engine_cls, mesh4):
+        a = np.ones((4, 4), dtype=np.int64)
+        w = np.ones((4, 2), dtype=np.int64)  # only columns 0,1 used
+        golden = engine_cls(mesh4).matmul(a, w, Dataflow.WEIGHT_STATIONARY)
+        faulty = engine_cls(mesh4, stuck_at(0, 3)).matmul(
+            a, w, Dataflow.WEIGHT_STATIONARY
+        )
+        assert np.array_equal(golden, faulty)
+
+    def test_stuck_at_0_masked_on_agreeing_data(self, engine_cls, mesh4):
+        """Stuck-at-0 on a bit that is already 0 never manifests."""
+        ones = np.ones((4, 4), dtype=np.int64)
+        # All partial sums are <= 4, so bit 20 is always 0: stuck-at-0 hides.
+        inj = stuck_at(2, 2, bit=20, value=0)
+        for dataflow in Dataflow:
+            golden = engine_cls(mesh4).matmul(ones, ones, dataflow)
+            faulty = engine_cls(mesh4, inj).matmul(ones, ones, dataflow)
+            assert np.array_equal(golden, faulty)
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+class TestTransientFaults:
+    def test_single_cycle_flip_corrupts_at_most_once_ws(self, engine_cls, mesh4):
+        ones = np.ones((4, 4), dtype=np.int64)
+        site = FaultSite(0, 0, "sum", 10)
+        inj = FaultInjector(FaultSet.of(TransientBitFlip(site=site, start_cycle=0)))
+        golden = engine_cls(mesh4).matmul(ones, ones, Dataflow.WEIGHT_STATIONARY)
+        faulty = engine_cls(mesh4, inj).matmul(ones, ones, Dataflow.WEIGHT_STATIONARY)
+        diff = golden != faulty
+        # Only the psum passing PE(0,0) at cycle 0 (output row 0, column 0).
+        assert diff.sum() == 1
+        assert diff[0, 0]
+
+    def test_flip_outside_active_window_is_harmless(self, engine_cls, mesh4):
+        ones = np.ones((4, 4), dtype=np.int64)
+        site = FaultSite(0, 0, "sum", 10)
+        inj = FaultInjector(
+            FaultSet.of(TransientBitFlip(site=site, start_cycle=10**6))
+        )
+        for dataflow in Dataflow:
+            golden = engine_cls(mesh4).matmul(ones, ones, dataflow)
+            faulty = engine_cls(mesh4, inj).matmul(ones, ones, dataflow)
+            assert np.array_equal(golden, faulty)
+
+
+class TestMultiStuckAt:
+    def test_two_faults_two_columns_ws(self, mesh4):
+        ones = np.ones((4, 4), dtype=np.int64)
+        faults = FaultSet.of(
+            StuckAtFault(site=FaultSite(0, 0, "sum", 20)),
+            StuckAtFault(site=FaultSite(2, 3, "sum", 20)),
+        )
+        inj = FaultInjector(faults)
+        golden = FunctionalSimulator(mesh4).matmul(
+            ones, ones, Dataflow.WEIGHT_STATIONARY
+        )
+        faulty = FunctionalSimulator(mesh4, inj).matmul(
+            ones, ones, Dataflow.WEIGHT_STATIONARY
+        )
+        diff = golden != faulty
+        assert diff[:, 0].all() and diff[:, 3].all()
+        assert not diff[:, [1, 2]].any()
+
+    def test_msf_engines_agree(self, mesh4, rng):
+        a = rng.integers(-128, 128, size=(4, 4))
+        b = rng.integers(-128, 128, size=(4, 4))
+        faults = FaultSet.of(
+            StuckAtFault(site=FaultSite(0, 1, "sum", 5)),
+            StuckAtFault(site=FaultSite(1, 1, "product", 3), stuck_value=0),
+            StuckAtFault(site=FaultSite(3, 2, "a_reg", 7)),
+        )
+        inj = FaultInjector(faults)
+        for dataflow in Dataflow:
+            cycle = CycleSimulator(mesh4, inj).matmul(a, b, dataflow)
+            fast = FunctionalSimulator(mesh4, inj).matmul(a, b, dataflow)
+            assert np.array_equal(cycle, fast)

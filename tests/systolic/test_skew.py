@@ -1,0 +1,72 @@
+"""Unit tests for diagonal operand skewing."""
+
+import numpy as np
+import pytest
+
+from repro.systolic.skew import SkewedFeeder
+
+
+class TestStreamAxis1:
+    """Lane i streams row i over time: value(i, t) = M[i, t - i]."""
+
+    def setup_method(self):
+        self.matrix = np.array([[1, 2, 3], [4, 5, 6]])
+        self.feeder = SkewedFeeder(self.matrix, stream_axis=1)
+
+    def test_lane_count(self):
+        assert self.feeder.lanes == 2
+        assert self.feeder.stream_length == 3
+
+    def test_lane0_unskewed(self):
+        assert [self.feeder.value(0, t) for t in range(3)] == [1, 2, 3]
+
+    def test_lane1_delayed_one_cycle(self):
+        assert self.feeder.value(1, 0) == 0
+        assert [self.feeder.value(1, t) for t in range(1, 4)] == [4, 5, 6]
+
+    def test_zero_outside_stream(self):
+        assert self.feeder.value(0, 3) == 0
+        assert self.feeder.value(1, 10) == 0
+
+    def test_last_cycle(self):
+        assert self.feeder.last_cycle() == (2 - 1) + (3 - 1)
+
+
+class TestStreamAxis0:
+    """Lane j streams column j over time: value(j, t) = M[t - j, j]."""
+
+    def setup_method(self):
+        self.matrix = np.array([[1, 2], [3, 4], [5, 6]])
+        self.feeder = SkewedFeeder(self.matrix, stream_axis=0)
+
+    def test_lane_count(self):
+        assert self.feeder.lanes == 2
+        assert self.feeder.stream_length == 3
+
+    def test_columns_streamed(self):
+        assert [self.feeder.value(0, t) for t in range(3)] == [1, 3, 5]
+        assert [self.feeder.value(1, t) for t in range(1, 4)] == [2, 4, 6]
+
+    def test_diagonal_alignment(self):
+        # At cycle t, lane j carries element index t - j: a perfect diagonal.
+        for t in range(4):
+            for lane in range(2):
+                expected = 0
+                index = t - lane
+                if 0 <= index < 3:
+                    expected = self.matrix[index, lane]
+                assert self.feeder.value(lane, t) == expected
+
+
+class TestValidation:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            SkewedFeeder(np.arange(4), stream_axis=0)
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ValueError):
+            SkewedFeeder(np.eye(2), stream_axis=2)
+
+    def test_values_are_python_ints(self):
+        feeder = SkewedFeeder(np.array([[7]], dtype=np.int32), stream_axis=0)
+        assert type(feeder.value(0, 0)) is int

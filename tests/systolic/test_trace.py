@@ -1,0 +1,74 @@
+"""Unit tests for signal probing and the trace recorder."""
+
+import numpy as np
+
+from repro.systolic import CycleSimulator, Dataflow, MeshConfig
+from repro.systolic.signals import CountingProbe, RecordingProbe, SignalEvent
+from repro.systolic.trace import TraceRecorder
+
+
+class TestCountingProbe:
+    def test_counts_all_signal_drives(self, mesh4):
+        probe = CountingProbe()
+        sim = CycleSimulator(mesh4, probe=probe)
+        sim.matmul(np.ones((4, 4)), np.ones((4, 4)), Dataflow.OUTPUT_STATIONARY)
+        # 16 PEs * 4 signals * total_cycles drives.
+        expected_cycles = (4 - 1) + (4 - 1) + 4
+        assert probe.count == 16 * 4 * expected_cycles
+
+
+class TestRecordingProbe:
+    def test_filters_compose(self, mesh4):
+        probe = RecordingProbe(mac=(1, 1), signal="sum")
+        sim = CycleSimulator(mesh4, probe=probe)
+        sim.matmul(np.ones((4, 4)), np.ones((4, 4)), Dataflow.WEIGHT_STATIONARY)
+        assert probe.events
+        assert all(e.signal == "sum" for e in probe.events)
+        assert all((e.row, e.col) == (1, 1) for e in probe.events)
+
+
+class TestTraceRecorder:
+    def _run(self, recorder, mesh):
+        sim = CycleSimulator(mesh, probe=recorder)
+        sim.matmul(
+            np.ones((2, 2), dtype=np.int64),
+            np.ones((2, 2), dtype=np.int64),
+            Dataflow.OUTPUT_STATIONARY,
+        )
+
+    def test_series_recorded_in_order(self, mesh4):
+        recorder = TraceRecorder.for_mac(0, 0)
+        self._run(recorder, mesh4)
+        series = recorder.series(0, 0, "sum")
+        cycles = [cycle for cycle, _ in series]
+        assert cycles == sorted(cycles)
+        # PE(0,0) accumulates 1*1 at cycles 0 and 1: sums 1 then 2.
+        assert series[0][1] == 1
+        assert series[1][1] == 2
+
+    def test_value_at(self, mesh4):
+        recorder = TraceRecorder.for_mac(0, 0)
+        self._run(recorder, mesh4)
+        assert recorder.value_at(0, 0, "sum", 0) == 1
+        assert recorder.value_at(0, 0, "sum", 10**6) is None
+
+    def test_render_contains_all_signals(self, mesh4):
+        recorder = TraceRecorder.for_mac(1, 1)
+        self._run(recorder, mesh4)
+        text = recorder.render()
+        for signal in ("a_reg", "b_reg", "product", "sum"):
+            assert f"MAC(1,1).{signal}" in text
+
+    def test_render_alignment_uses_dots_for_gaps(self):
+        recorder = TraceRecorder()
+        recorder.observe(SignalEvent(cycle=2, row=0, col=0, signal="sum", value=5))
+        text = recorder.render()
+        row = text.splitlines()[0]
+        _, _, cells = row.partition("|")
+        assert cells.split() == [".", ".", "5"]  # cycles 0,1 undriven
+
+    def test_signal_filter(self, mesh4):
+        recorder = TraceRecorder(signals=frozenset({"sum"}))
+        self._run(recorder, mesh4)
+        assert recorder.series(0, 0, "sum")
+        assert recorder.series(0, 0, "product") == []

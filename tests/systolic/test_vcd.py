@@ -1,0 +1,79 @@
+"""Unit tests for VCD waveform export."""
+
+import numpy as np
+
+from repro.systolic import CycleSimulator, Dataflow, MeshConfig
+from repro.systolic.signals import SignalEvent
+from repro.systolic.trace import TraceRecorder
+
+
+def _traced_run(mesh):
+    recorder = TraceRecorder.for_mac(0, 0)
+    sim = CycleSimulator(mesh, probe=recorder)
+    ones = np.ones((2, 2), dtype=np.int64)
+    sim.matmul(ones, ones, Dataflow.OUTPUT_STATIONARY)
+    return recorder
+
+
+class TestVcdStructure:
+    def test_header_sections(self, mesh4):
+        vcd = _traced_run(mesh4).to_vcd()
+        for section in ("$timescale", "$scope module mesh", "$enddefinitions"):
+            assert section in vcd
+
+    def test_one_var_per_signal(self, mesh4):
+        vcd = _traced_run(mesh4).to_vcd()
+        assert vcd.count("$var reg 32") == 4  # a_reg, b_reg, product, sum
+        for signal in ("a_reg", "b_reg", "product", "sum"):
+            assert f"mac_0_0_{signal}" in vcd
+
+    def test_timestamps_monotonic(self, mesh4):
+        vcd = _traced_run(mesh4).to_vcd()
+        times = [
+            int(line[1:])
+            for line in vcd.splitlines()
+            if line.startswith("#")
+        ]
+        assert times == sorted(times)
+        assert times[0] == 0
+
+    def test_values_are_32_bit_binary(self, mesh4):
+        vcd = _traced_run(mesh4).to_vcd()
+        value_lines = [
+            line for line in vcd.splitlines() if line.startswith("b")
+        ]
+        assert value_lines
+        for line in value_lines:
+            bits, _, _ = line[1:].partition(" ")
+            assert len(bits) == 32
+            assert set(bits) <= {"0", "1"}
+
+    def test_negative_values_twos_complement(self):
+        recorder = TraceRecorder()
+        recorder.observe(
+            SignalEvent(cycle=0, row=0, col=0, signal="sum", value=-1)
+        )
+        vcd = recorder.to_vcd()
+        assert "b" + "1" * 32 in vcd
+
+    def test_identifier_uniqueness_many_signals(self):
+        recorder = TraceRecorder()
+        for row in range(10):
+            for col in range(12):
+                recorder.observe(
+                    SignalEvent(cycle=0, row=row, col=col, signal="sum", value=1)
+                )
+        vcd = recorder.to_vcd()
+        ids = [
+            line.split()[3]
+            for line in vcd.splitlines()
+            if line.startswith("$var")
+        ]
+        assert len(ids) == 120
+        assert len(set(ids)) == 120
+
+    def test_known_sum_values(self, mesh4):
+        vcd = _traced_run(mesh4).to_vcd()
+        # PE(0,0) accumulates 1 then 2: both binary patterns must appear.
+        assert "b" + format(1, "032b") in vcd
+        assert "b" + format(2, "032b") in vcd

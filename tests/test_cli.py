@@ -1,0 +1,150 @@
+"""Unit tests for the repro-fi command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.op == "gemm"
+        assert args.dataflow == "WS"
+        assert args.bit == 20
+
+    def test_predict_requires_shape(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict", "--row", "0", "--col", "0"])
+
+
+class TestCampaignCommand:
+    def test_gemm_campaign_summary(self, capsys):
+        code = main(
+            ["campaign", "--rows", "4", "--cols", "4", "--size", "4",
+             "--dataflow", "WS"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "single-column" in out
+        assert "experiments : 16" in out
+
+    def test_conv_campaign(self, capsys):
+        code = main(
+            ["campaign", "--rows", "4", "--cols", "4", "--op", "conv",
+             "--size", "6", "--kernel", "3,3,2,3", "--sites", "diagonal"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "single-channel" in out
+
+    def test_bad_kernel_is_an_error(self, capsys):
+        code = main(
+            ["campaign", "--op", "conv", "--kernel", "nonsense",
+             "--rows", "4", "--cols", "4", "--size", "6"]
+        )
+        assert code == 2
+        assert "R,S,C,K" in capsys.readouterr().err
+
+    def test_json_and_dict_outputs(self, tmp_path, capsys):
+        json_path = tmp_path / "results.json"
+        dict_path = tmp_path / "dict.json"
+        code = main(
+            ["campaign", "--rows", "4", "--cols", "4", "--size", "4",
+             "--json", str(json_path), "--dict", str(dict_path)]
+        )
+        assert code == 0
+        assert json.loads(json_path.read_text())["mesh"] == {"rows": 4, "cols": 4}
+        assert len(json.loads(dict_path.read_text())["sites"]) == 16
+
+    def test_random_sites(self, capsys):
+        code = main(
+            ["campaign", "--rows", "4", "--cols", "4", "--size", "4",
+             "--sites", "random", "--num-random", "5"]
+        )
+        assert code == 0
+        assert "experiments : 5" in capsys.readouterr().out
+
+
+class TestPredictCommand:
+    def test_prediction_rendering(self, capsys):
+        code = main(
+            ["predict", "--rows", "4", "--cols", "4", "--m", "8", "--k", "4",
+             "--n", "8", "--dataflow", "WS", "--row", "0", "--col", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "single-column multi-tile" in out
+        assert "#" in out  # the support rendering
+
+    def test_large_output_skips_rendering(self, capsys):
+        code = main(
+            ["predict", "--m", "112", "--k", "112", "--n", "112",
+             "--row", "5", "--col", "9"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "corrupted cells: 784" in out
+        assert "#" not in out
+
+
+class TestStudyCommand:
+    def test_fast_study(self, capsys):
+        code = main(["study", "--fast"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "single-element" in out
+        assert "all match analytical prediction : True" in out
+
+    def test_markdown_output(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        code = main(["study", "--fast", "--markdown", str(path)])
+        assert code == 0
+        assert path.read_text().startswith("# Paper study report")
+
+
+class TestZooCommand:
+    def test_lenet_table(self, capsys):
+        code = main(["zoo", "lenet5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for layer in ("conv1", "conv2", "fc1", "fc2", "fc3"):
+            assert layer in out
+        assert "single-channel" in out
+
+    def test_mesh_and_dataflow_flags(self, capsys):
+        code = main(
+            ["zoo", "resnet18", "--rows", "8", "--cols", "8",
+             "--dataflow", "OS"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8x8 mesh" in out and "OS dataflow" in out
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["zoo", "vgg19"])
+
+
+class TestAtlasAndStatespace:
+    def test_atlas_lists_all_gemm_classes(self, capsys):
+        assert main(["atlas"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "single-element",
+            "single-element multi-tile",
+            "single-column",
+            "single-column multi-tile",
+            "single-row",
+            "single-row multi-tile",
+        ):
+            assert f"--- {name} " in out
+
+    def test_statespace(self, capsys):
+        assert main(["statespace"]) == 0
+        assert "131072" in capsys.readouterr().out
