@@ -1,0 +1,64 @@
+"""Static analysis of the repro code base itself.
+
+The reproduction's correctness rests on cross-layer contracts — the signal
+registry in :mod:`repro.faults.sites`, integer-only datapath arithmetic,
+seeded sampling, frozen identity dataclasses, explicit ``__all__`` exports
+— that unit tests exercise but cannot *enforce*. This package enforces
+them statically: :mod:`repro.checks.engine` is a small AST rule engine
+with per-line ``# repro: ignore[rule]`` suppressions, and
+:mod:`repro.checks.rules` is the battery of repo-specific rules.
+
+Run it from the CLI (``repro-fi lint src/repro``) or programmatically:
+
+>>> from repro.checks import run_checks
+>>> findings = run_checks(["src/repro"])
+>>> [f.render() for f in findings]
+[]
+
+See ``docs/static_analysis.md`` for the rule catalogue and how to add a
+rule.
+"""
+
+from repro.checks.engine import (
+    Finding,
+    Rule,
+    Severity,
+    SourceModule,
+    iter_python_files,
+    load_module,
+    module_name,
+    render_json,
+    render_text,
+    run_checks,
+)
+from repro.checks.rules import (
+    ALL_RULES,
+    BitAccuracyRule,
+    DataclassContractRule,
+    ExportHygieneRule,
+    SignalLiteralRule,
+    UnseededRandomRule,
+    get_rule,
+)
+
+__all__ = [
+    # engine
+    "Severity",
+    "Finding",
+    "SourceModule",
+    "Rule",
+    "module_name",
+    "iter_python_files",
+    "load_module",
+    "run_checks",
+    "render_text",
+    "render_json",
+    # rules
+    "BitAccuracyRule",
+    "SignalLiteralRule",
+    "UnseededRandomRule",
+    "ExportHygieneRule",
+    "DataclassContractRule",
+    "ALL_RULES",
+    "get_rule",
+]

@@ -13,6 +13,9 @@ Four subcommands mirror the workflows of the paper:
     Print one rendered example of every pattern class.
 ``repro-fi statespace``
     Print the FI state-space arithmetic of Section III-A.
+``repro-fi lint``
+    Run the repo's AST invariant linter (:mod:`repro.checks`) over source
+    paths; non-zero exit on findings.
 
 Examples
 --------
@@ -21,6 +24,7 @@ Examples
     repro-fi campaign --op gemm --size 16 --dataflow WS
     repro-fi campaign --op conv --size 16 --kernel 3,3,3,8 --dict faults.json
     repro-fi predict --m 112 --k 112 --n 112 --dataflow WS --row 5 --col 9
+    repro-fi lint src/repro --format json
 """
 
 from __future__ import annotations
@@ -41,7 +45,7 @@ from repro.core import (
 from repro.core.reports import campaign_summary, format_table
 from repro.core.sampling import StateSpace, random_sites
 from repro.core.serialize import save_campaign, save_fault_dictionary
-from repro.faults.sites import FaultSite
+from repro.faults.sites import MAC_SIGNALS, PAPER_FAULT_SIGNAL, FaultSite
 from repro.ops.tiling import plan_gemm_tiling
 from repro.systolic import Dataflow, MeshConfig
 
@@ -82,9 +86,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--signal",
-        default="sum",
-        choices=("a_reg", "b_reg", "product", "sum"),
-        help="datapath signal to inject into (paper: sum)",
+        default=PAPER_FAULT_SIGNAL,
+        choices=MAC_SIGNALS,
+        help=f"datapath signal to inject into (paper: {PAPER_FAULT_SIGNAL})",
     )
     campaign.add_argument(
         "--sites",
@@ -139,6 +143,26 @@ def build_parser() -> argparse.ArgumentParser:
     zoo.add_argument("--cols", type=int, default=16)
     zoo.add_argument(
         "--dataflow", choices=sorted(_DATAFLOWS), default="WS"
+    )
+
+    lint = sub.add_parser(
+        "lint", help="run the AST invariant linter over source paths"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print each rule's id, severity, and description, then exit",
     )
     return parser
 
@@ -284,6 +308,40 @@ def _cmd_zoo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.checks import ALL_RULES, render_json, render_text, run_checks
+
+    if args.list_rules:
+        rows = [
+            (rule.id, str(rule.severity), rule.description)
+            for rule in ALL_RULES
+        ]
+        print(format_table(("rule", "severity", "description"), rows))
+        return 0
+    paths = list(args.paths)
+    if not paths:
+        default = Path("src") / "repro"
+        if not default.is_dir():
+            print(
+                "error: no paths given and ./src/repro does not exist",
+                file=sys.stderr,
+            )
+            return 2
+        paths = [str(default)]
+    try:
+        findings = run_checks(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -294,6 +352,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "statespace": _cmd_statespace,
         "study": _cmd_study,
         "zoo": _cmd_zoo,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

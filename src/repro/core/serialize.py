@@ -25,6 +25,7 @@ from repro.core.campaign import CampaignResult
 from repro.core.classifier import PatternClass
 
 __all__ = [
+    "SCHEMA_VERSION",
     "campaign_to_dict",
     "save_campaign",
     "load_campaign",

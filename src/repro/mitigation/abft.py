@@ -41,6 +41,7 @@ from repro.systolic.dataflow import Dataflow
 from repro.systolic.datatypes import INT32, IntType, wrap_array
 
 __all__ = [
+    "NUM_PLANES",
     "AbftReport",
     "AbftGemm",
     "signed_digit_planes",

@@ -1,0 +1,30 @@
+"""Shared fixtures for the static-analysis test suite."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def write_module(tmp_path):
+    """Write a module at a dotted path under a tmp package tree.
+
+    ``write_module("repro.systolic.bad", source)`` creates
+    ``tmp/repro/systolic/bad.py`` (with ``__init__.py`` files along the
+    way) so that the engine resolves the same dotted module names — and
+    therefore the same rule scopes — as the real tree.
+    """
+
+    def _write(dotted: str, source: str) -> Path:
+        parts = dotted.split(".")
+        directory = tmp_path
+        for part in parts[:-1]:
+            directory = directory / part
+            directory.mkdir(exist_ok=True)
+            (directory / "__init__.py").touch()
+        path = directory / f"{parts[-1]}.py"
+        path.write_text(textwrap.dedent(source))
+        return path
+
+    return _write

@@ -1,0 +1,170 @@
+"""Unit tests for the lint rule engine (module loading, suppressions,
+severity plumbing, renderers)."""
+
+import json
+
+import pytest
+
+from repro.checks import (
+    Finding,
+    Rule,
+    Severity,
+    iter_python_files,
+    load_module,
+    module_name,
+    render_json,
+    render_text,
+    run_checks,
+)
+from repro.checks.rules import BitAccuracyRule
+
+
+class TestModuleName:
+    def test_nested_package(self, write_module):
+        path = write_module("repro.systolic.extra", "x = 1\n")
+        assert module_name(path) == "repro.systolic.extra"
+
+    def test_package_init(self, write_module):
+        path = write_module("pkg.sub.mod", "x = 1\n")
+        init = path.parent / "__init__.py"
+        assert module_name(init) == "pkg.sub"
+
+    def test_standalone_file(self, tmp_path):
+        path = tmp_path / "script.py"
+        path.write_text("x = 1\n")
+        assert module_name(path) == "script"
+
+
+class TestFileCollection:
+    def test_directory_recursion_and_dedup(self, write_module, tmp_path):
+        write_module("pkg.a", "x = 1\n")
+        write_module("pkg.sub.b", "y = 2\n")
+        files = list(iter_python_files([tmp_path, tmp_path / "pkg"]))
+        names = sorted(p.name for p in files)
+        assert names == ["__init__.py", "__init__.py", "a.py", "b.py"]
+
+    def test_pycache_skipped(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("x = 1\n")
+        (tmp_path / "real.py").write_text("x = 1\n")
+        assert [p.name for p in iter_python_files([tmp_path])] == ["real.py"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files([tmp_path / "nope"]))
+
+    def test_non_python_file_raises(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("hi")
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files([path]))
+
+
+class TestSuppressions:
+    def test_bare_ignore_silences_everything(self, write_module):
+        path = write_module(
+            "repro.systolic.bad", "SCALE = 1.5  # repro: ignore\n"
+        )
+        assert run_checks([path], rules=[BitAccuracyRule()]) == []
+
+    def test_targeted_ignore_silences_named_rule(self, write_module):
+        path = write_module(
+            "repro.systolic.bad",
+            "SCALE = 1.5  # repro: ignore[bit-accuracy]\n",
+        )
+        assert run_checks([path], rules=[BitAccuracyRule()]) == []
+
+    def test_wrong_id_does_not_silence(self, write_module):
+        path = write_module(
+            "repro.systolic.bad",
+            "SCALE = 1.5  # repro: ignore[signal-literal]\n",
+        )
+        findings = run_checks([path], rules=[BitAccuracyRule()])
+        assert [f.rule for f in findings] == ["bit-accuracy"]
+
+    def test_comma_separated_ids(self, write_module):
+        path = write_module(
+            "repro.systolic.bad",
+            "SCALE = 1.5  # repro: ignore[signal-literal, bit-accuracy]\n",
+        )
+        assert run_checks([path], rules=[BitAccuracyRule()]) == []
+
+    def test_suppression_is_per_line(self, write_module):
+        path = write_module(
+            "repro.systolic.bad",
+            """
+            A = 1.5  # repro: ignore[bit-accuracy]
+            B = 2.5
+            """,
+        )
+        findings = run_checks([path], rules=[BitAccuracyRule()])
+        assert len(findings) == 1
+        assert findings[0].line == 3
+
+
+class TestSyntaxErrors:
+    def test_unparseable_file_becomes_finding(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        findings = run_checks([path])
+        assert len(findings) == 1
+        assert findings[0].rule == "syntax-error"
+        assert findings[0].severity is Severity.ERROR
+
+
+class TestScoping:
+    def test_scoped_rule_skips_other_packages(self, write_module):
+        path = write_module("other.place", "SCALE = 1.5\n")
+        assert run_checks([path], rules=[BitAccuracyRule()]) == []
+
+    def test_unscoped_rule_applies_to_unresolvable_modules(self, tmp_path):
+        class Everywhere(Rule):
+            id = "everywhere"
+
+            def check(self, module):
+                yield self.finding(module, None, "hit")
+
+        path = tmp_path / "loose.py"
+        path.write_text("x = 1\n")
+        findings = run_checks([path], rules=[Everywhere()])
+        assert [f.rule for f in findings] == ["everywhere"]
+
+
+class TestOrderingAndRendering:
+    def _findings(self):
+        return [
+            Finding("b.py", 3, 0, "r", Severity.ERROR, "second"),
+            Finding("a.py", 9, 2, "r", Severity.WARNING, "first"),
+        ]
+
+    def test_run_checks_sorts_by_location(self, write_module):
+        pb = write_module("repro.systolic.zz", "A = 1.5\n")
+        pa = write_module("repro.systolic.aa", "B = 2.5\nC = 3.5\n")
+        findings = run_checks([pb, pa], rules=[BitAccuracyRule()])
+        assert [(f.path, f.line) for f in findings] == [
+            (str(pa), 1),
+            (str(pa), 2),
+            (str(pb), 1),
+        ]
+
+    def test_render_text(self):
+        text = render_text(self._findings())
+        assert "b.py:3:0: error [r] second" in text
+        assert "2 finding(s): 1 error(s), 1 warning(s)" in text
+
+    def test_render_text_clean(self):
+        assert render_text([]) == "no findings"
+
+    def test_render_json_round_trips(self):
+        payload = json.loads(render_json(self._findings()))
+        assert payload["count"] == 2
+        assert payload["findings"][0]["severity"] == "error"
+        assert payload["findings"][1]["rule"] == "r"
+
+    def test_load_module_exposes_source_and_tree(self, write_module):
+        path = write_module("pkg.mod", "VALUE = 41\n")
+        module = load_module(path)
+        assert module.name == "pkg.mod"
+        assert "VALUE" in module.source
+        assert module.tree.body

@@ -1,0 +1,34 @@
+"""The linter's standing self-check: the repository must lint clean.
+
+This is the acceptance gate of the checks subsystem — every invariant rule
+runs over ``src/repro`` itself, so any future change that breaks a
+contract (a float in the datapath, a raw signal literal, an unseeded RNG,
+a drifting ``__all__``, an unfrozen contract dataclass) fails the suite.
+"""
+
+from pathlib import Path
+
+from repro.checks import ALL_RULES, render_text, run_checks
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def test_package_root_exists():
+    assert PACKAGE_ROOT.is_dir(), PACKAGE_ROOT
+
+
+def test_repository_lints_clean():
+    findings = run_checks([PACKAGE_ROOT])
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_full_battery_ran():
+    # Guard against the self-check silently passing because rules vanished.
+    assert {rule.id for rule in ALL_RULES} == {
+        "bit-accuracy",
+        "signal-literal",
+        "unseeded-random",
+        "export-hygiene",
+        "dataclass-contract",
+    }

@@ -109,3 +109,58 @@ class TestEnumeration:
     def test_bad_mesh_rejected(self):
         with pytest.raises(ValueError):
             list(enumerate_sites(0, 4))
+
+
+class TestContractEdgeCases:
+    """Runtime tests of the signal contract the static linter also enforces."""
+
+    def test_signal_dtype_error_names_the_registry(self):
+        with pytest.raises(KeyError) as excinfo:
+            signal_dtype("accumulator")
+        message = str(excinfo.value)
+        for signal in MAC_SIGNALS:
+            assert signal in message
+
+    def test_enumerate_mac_sites_unknown_signal(self):
+        with pytest.raises(KeyError):
+            list(enumerate_mac_sites(0, 0, signals=("not_a_signal",)))
+
+    def test_enumerate_sites_unknown_signal(self):
+        with pytest.raises(KeyError):
+            list(enumerate_sites(2, 2, signals=("bogus",)))
+
+    def test_zero_size_mesh_rejected_both_axes(self):
+        with pytest.raises(ValueError):
+            list(enumerate_sites(4, 0))
+        with pytest.raises(ValueError):
+            list(enumerate_sites(0, 0))
+
+    def test_negative_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_sites(-1, 4))
+        with pytest.raises(ValueError):
+            list(enumerate_sites(4, -2))
+
+    def test_empty_signal_selection_yields_nothing(self):
+        assert list(enumerate_sites(2, 2, signals=())) == []
+        assert list(enumerate_mac_sites(0, 0, signals=())) == []
+
+    def test_empty_bit_selection_yields_nothing(self):
+        assert list(enumerate_mac_sites(0, 0, bits=[])) == []
+        assert list(enumerate_sites(2, 2, bits=[])) == []
+
+    def test_out_of_range_bit_selection_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_mac_sites(0, 0, signals=(SIGNAL_A_REG,), bits=[8]))
+
+    def test_minimal_mesh(self):
+        sites = list(enumerate_sites(1, 1))
+        assert len(sites) == 32
+        assert all((s.row, s.col) == (0, 0) for s in sites)
+
+    def test_dtype_identity_matches_registry(self):
+        # The linter keeps _SIGNAL_DTYPES and MAC_SIGNALS aligned at the AST
+        # level; this pins the runtime behaviour to the same contract.
+        for signal in MAC_SIGNALS:
+            for site in enumerate_mac_sites(0, 0, signals=(signal,), bits=[0]):
+                assert site.dtype is signal_dtype(signal)

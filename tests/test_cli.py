@@ -1,10 +1,13 @@
 """Unit tests for the repro-fi command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser, main
+
+PACKAGE_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
 
 
 class TestParser:
@@ -129,6 +132,54 @@ class TestZooCommand:
     def test_unknown_network_rejected(self):
         with pytest.raises(SystemExit):
             main(["zoo", "vgg19"])
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, capsys):
+        code = main(["lint", str(PACKAGE_ROOT)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no findings" in out
+
+    def test_violation_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "systolic"
+        bad.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").touch()
+        (bad / "__init__.py").touch()
+        target = bad / "drifty.py"
+        target.write_text("__all__ = []\nSCALE = 0.5\n")
+        code = main(["lint", str(target)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "bit-accuracy" in out
+        assert "finding(s)" in out
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        target = tmp_path / "loose.py"
+        target.write_text("def orphan():\n    return 1\n")
+        code = main(["lint", str(target), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["count"] == len(payload["findings"]) == 1
+        assert payload["findings"][0]["rule"] == "export-hygiene"
+
+    def test_list_rules(self, capsys):
+        code = main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for rule_id in (
+            "bit-accuracy",
+            "signal-literal",
+            "unseeded-random",
+            "export-hygiene",
+            "dataclass-contract",
+        ):
+            assert rule_id in out
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        code = main(["lint", str(tmp_path / "nope")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestAtlasAndStatespace:
