@@ -15,9 +15,10 @@ Run with::
 
 from __future__ import annotations
 
+import os
 from typing import Callable
 
-__all__ = ["run_once", "banner"]
+__all__ = ["run_once", "banner", "parallel_capacity"]
 
 
 def run_once(benchmark, fn: Callable, *args, **kwargs):
@@ -29,3 +30,16 @@ def banner(title: str) -> str:
     """A section banner for the printed artefacts."""
     rule = "=" * max(len(title), 60)
     return f"\n{rule}\n{title}\n{rule}"
+
+
+def parallel_capacity() -> int:
+    """CPU cores available to this process (floor for scaling claims).
+
+    Scaling benches assert speedups only when the hardware can actually
+    deliver them; on starved CI runners they still assert correctness
+    (parallel == serial) and report the measured ratio as context.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1

@@ -5,7 +5,10 @@ Four subcommands mirror the workflows of the paper:
 ``repro-fi campaign``
     Run an SSF campaign (exhaustive or sampled) for a GEMM or convolution
     workload and print the summary; optionally dump the raw results or an
-    LLTFI-style fault dictionary as JSON.
+    LLTFI-style fault dictionary as JSON. ``--jobs/-j`` shards the site
+    sweep over worker processes, ``--checkpoint``/``--resume`` stream
+    completed experiments to an append-only JSONL file and pick an
+    interrupted campaign back up (see ``docs/parallel.md``).
 ``repro-fi predict``
     Analytically predict the fault pattern of one site for a GEMM shape —
     no simulation — and render it.
@@ -23,6 +26,8 @@ Examples
 
     repro-fi campaign --op gemm --size 16 --dataflow WS
     repro-fi campaign --op conv --size 16 --kernel 3,3,3,8 --dict faults.json
+    repro-fi campaign --size 16 -j 4 --checkpoint campaign.jsonl
+    repro-fi campaign --size 16 -j 4 --resume campaign.jsonl
     repro-fi predict --m 112 --k 112 --n 112 --dataflow WS --row 5 --col 9
     repro-fi lint src/repro --format json
 """
@@ -42,6 +47,7 @@ from repro.core import (
     diagonal_sites,
     predict_pattern,
 )
+from repro.core.executor import ParallelExecutor
 from repro.core.reports import campaign_summary, format_table
 from repro.core.sampling import StateSpace, random_sites
 from repro.core.serialize import save_campaign, save_fault_dictionary
@@ -52,6 +58,27 @@ from repro.systolic import Dataflow, MeshConfig
 __all__ = ["main", "build_parser"]
 
 _DATAFLOWS = {d.value: d for d in Dataflow}
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be >= 1 (e.g. ``--jobs``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the site sweep (1 = serial reference)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -103,6 +130,16 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--dict", dest="dictionary", help="write fault dictionary JSON here"
     )
+    _add_jobs_flag(campaign)
+    campaign.add_argument(
+        "--checkpoint",
+        help="append completed experiments to this JSONL stream",
+    )
+    campaign.add_argument(
+        "--resume",
+        help="resume an interrupted campaign from this JSONL checkpoint "
+        "(completed sites are not re-executed; new ones are appended)",
+    )
 
     predict = sub.add_parser(
         "predict", help="analytically predict one fault pattern"
@@ -130,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="diagonal site sweep and no 112x112 configs",
     )
     study.add_argument("--markdown", help="write the report as markdown here")
+    _add_jobs_flag(study)
 
     zoo = sub.add_parser(
         "zoo", help="per-layer vulnerability of a known network's shapes"
@@ -189,7 +227,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         sites = random_sites(mesh, args.num_random)
     spec = FaultSpec(signal=args.signal, bit=args.bit, stuck_value=args.stuck)
-    result = Campaign(mesh, workload, fault_spec=spec, sites=sites).run()
+    executor = None
+    if args.jobs > 1 or args.checkpoint or args.resume:
+        executor = ParallelExecutor(
+            jobs=args.jobs, checkpoint=args.checkpoint, resume=args.resume
+        )
+    try:
+        result = Campaign(mesh, workload, fault_spec=spec, sites=sites).run(
+            executor=executor
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(campaign_summary(result))
     if args.json:
         path = save_campaign(result, args.json)
@@ -259,7 +308,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
     mesh = MeshConfig(rows=args.rows, cols=args.cols)
     sites = diagonal_sites(mesh) if args.fast else None
     report = run_paper_study(
-        mesh=mesh, sites=sites, include_large=not args.fast
+        mesh=mesh, sites=sites, include_large=not args.fast, jobs=args.jobs
     )
     print(report.to_text())
     if args.markdown:

@@ -23,6 +23,15 @@ from repro.core.campaign import (
     FillKind,
     GemmWorkload,
     OperationType,
+    operand_seeds,
+)
+from repro.core.executor import (
+    GOLDEN_CACHE,
+    CampaignExecutor,
+    GoldenCache,
+    ParallelExecutor,
+    SerialExecutor,
+    shard_sites,
 )
 from repro.core.classifier import Classification, PatternClass, classify_pattern
 from repro.core.fault_patterns import FaultPattern, extract_pattern
@@ -63,8 +72,12 @@ from repro.core.study import StudyEntry, StudyReport, run_paper_study
 from repro.core.vulnerability import VulnerabilityProfile, analyze_operation
 from repro.core.serialize import (
     campaign_to_dict,
+    checkpoint_header,
+    experiment_from_record,
+    experiment_record,
     fault_dictionary,
     load_campaign,
+    read_checkpoint,
     save_campaign,
     save_fault_dictionary,
 )
@@ -87,6 +100,13 @@ __all__ = [
     "FaultSpec",
     "FillKind",
     "OperationType",
+    "operand_seeds",
+    "CampaignExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "GoldenCache",
+    "GOLDEN_CACHE",
+    "shard_sites",
     "PatternClass",
     "Classification",
     "classify_pattern",
@@ -120,6 +140,10 @@ __all__ = [
     "load_campaign",
     "fault_dictionary",
     "save_fault_dictionary",
+    "checkpoint_header",
+    "experiment_record",
+    "experiment_from_record",
+    "read_checkpoint",
     "diagnose",
     "DiagnosisResult",
     "required_sample_size",

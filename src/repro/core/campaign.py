@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -41,9 +41,13 @@ from repro.systolic.dataflow import Dataflow
 from repro.systolic.functional import FunctionalSimulator
 from repro.systolic.simulator import CycleSimulator
 
+if TYPE_CHECKING:
+    from repro.core.executor import CampaignExecutor
+
 __all__ = [
     "OperationType",
     "FillKind",
+    "operand_seeds",
     "GemmWorkload",
     "ConvWorkload",
     "FaultSpec",
@@ -76,6 +80,18 @@ class FillKind(enum.Enum):
     ONES = "ones"
     RANDOM = "random"
     RAMP = "ramp"
+
+
+def operand_seeds(seed: int) -> tuple[int, int]:
+    """The per-operand RNG seeds derived from a workload's base seed.
+
+    Every workload generates its operand pair from ``(seed, seed + 1)``.
+    This derivation lives in exactly one place so that every process of a
+    sharded campaign (see :mod:`repro.core.executor`) regenerates
+    bit-identical operands from the pickled workload spec alone — the
+    operands themselves are never shipped between processes.
+    """
+    return seed, seed + 1
 
 
 def _fill(shape: tuple[int, ...], fill: FillKind, seed: int) -> np.ndarray:
@@ -120,8 +136,9 @@ class GemmWorkload:
 
     def operands(self) -> tuple[np.ndarray, np.ndarray]:
         """The (A, B) operand pair, deterministic given the spec."""
-        a = _fill((self.m, self.k), self.fill, self.seed)
-        b = _fill((self.k, self.n), self.fill, self.seed + 1)
+        seed_a, seed_b = operand_seeds(self.seed)
+        a = _fill((self.m, self.k), self.fill, seed_a)
+        b = _fill((self.k, self.n), self.fill, seed_b)
         return a, b
 
     def run(self, engine) -> tuple[np.ndarray, TilingPlan, None]:
@@ -195,15 +212,16 @@ class ConvWorkload:
 
     def operands(self) -> tuple[np.ndarray, np.ndarray]:
         """The (input NCHW, kernel KCRS) tensor pair."""
+        seed_x, seed_w = operand_seeds(self.seed)
         x = _fill(
             (self.batch, self.in_channels, self.input_size, self.input_size),
             self.fill,
-            self.seed,
+            seed_x,
         )
         w = _fill(
             (self.out_channels, self.in_channels, self.kernel_rows, self.kernel_cols),
             self.fill,
-            self.seed + 1,
+            seed_w,
         )
         return x, w
 
@@ -397,31 +415,51 @@ class Campaign:
         engine = self._make_engine(FaultInjector(fault_set))
         return self.workload.run(engine)
 
-    def run(self) -> CampaignResult:
-        """Execute the golden run plus one FI experiment per site."""
-        start = time.perf_counter()
-        golden, plan, geometry = self.workload.run(self._make_engine(NO_FAULTS))
-        result = CampaignResult(
-            workload=self.workload,
-            fault_spec=self.fault_spec,
-            mesh=self.mesh,
-            golden=golden,
-            plan=plan,
-            geometry=geometry,
+    def golden_run(self) -> tuple[np.ndarray, TilingPlan, ConvGeometry | None]:
+        """The fault-free reference run: (golden output, plan, geometry)."""
+        return self.workload.run(self._make_engine(NO_FAULTS))
+
+    def run_experiment(
+        self,
+        row: int,
+        col: int,
+        golden: np.ndarray,
+        plan: TilingPlan,
+        geometry: ConvGeometry | None,
+    ) -> ExperimentResult:
+        """One FI experiment: inject at MAC ``(row, col)``, diff, classify.
+
+        This is the unit of work every executor — serial or sharded across
+        processes — performs per fault site; keeping it on the campaign is
+        what makes the execution strategy pluggable without duplicating the
+        inject/diff/classify pipeline.
+        """
+        fault = self.fault_spec.fault_at(row, col)
+        faulty, _, _ = self.run_single(fault)
+        pattern = extract_pattern(golden, faulty, plan=plan, geometry=geometry)
+        classification = classify_pattern(pattern)
+        return ExperimentResult(
+            site=fault.site,
+            classification=classification,
+            num_corrupted=pattern.num_corrupted,
+            max_abs_deviation=pattern.max_abs_deviation,
+            pattern=pattern if self.keep_patterns else None,
         )
-        for row, col in self.sites:
-            fault = self.fault_spec.fault_at(row, col)
-            faulty, _, _ = self.run_single(fault)
-            pattern = extract_pattern(golden, faulty, plan=plan, geometry=geometry)
-            classification = classify_pattern(pattern)
-            result.experiments.append(
-                ExperimentResult(
-                    site=fault.site,
-                    classification=classification,
-                    num_corrupted=pattern.num_corrupted,
-                    max_abs_deviation=pattern.max_abs_deviation,
-                    pattern=pattern if self.keep_patterns else None,
-                )
-            )
-        result.wall_seconds = time.perf_counter() - start
-        return result
+
+    def run(self, executor: "CampaignExecutor | None" = None) -> CampaignResult:
+        """Execute the golden run plus one FI experiment per site.
+
+        Parameters
+        ----------
+        executor:
+            Execution strategy; ``None`` selects the serial reference
+            implementation. Pass a
+            :class:`~repro.core.executor.ParallelExecutor` to fan the site
+            sweep out over worker processes (with optional checkpointing) —
+            the result is guaranteed identical either way.
+        """
+        if executor is None:
+            from repro.core.executor import SerialExecutor
+
+            executor = SerialExecutor()
+        return executor.execute(self)

@@ -1,0 +1,331 @@
+"""Sharded, cached, resumable campaign execution.
+
+The paper's headline claim rests on *exhaustive* SSF sweeps — every MAC
+unit of the array, one fault per experiment — and each experiment is an
+independent workload run, which makes a campaign embarrassingly parallel.
+This module is the execution engine behind :meth:`Campaign.run`:
+
+* :class:`SerialExecutor` — the in-process reference implementation (the
+  former ``Campaign.run`` loop, verbatim). ``--jobs 1`` semantics.
+* :class:`ParallelExecutor` — shards the site list into deterministic
+  chunks (:func:`shard_sites`), fans them out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`, optionally appends an
+  append-only JSONL checkpoint of completed experiments, and can resume
+  an interrupted campaign from such a checkpoint instead of restarting.
+* :class:`GoldenCache` — a per-process memo of fault-free golden runs
+  keyed by ``(workload, mesh config, engine)``, so repeated campaigns on
+  one configuration (the study grid, scaling benches) pay for the golden
+  run once. Workers never compute it at all: the parent ships the golden
+  output to every worker through the pool initializer.
+
+Determinism guarantee
+---------------------
+Whatever the worker count or OS scheduling, the merged
+:class:`CampaignResult` lists experiments in *canonical site order* (the
+campaign's ``sites`` sequence), every worker regenerates bit-identical
+operands from the pickled workload spec (see
+:func:`repro.core.campaign.operand_seeds`), and each experiment is a pure
+function of (workload, mesh, fault site). ``census()``, ``sdc_rate()``
+and ``dominant_class()`` are therefore bit-identical to the serial path;
+only ``wall_seconds`` differs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import replace
+from pathlib import Path
+from typing import IO, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.campaign import Campaign, CampaignResult, ExperimentResult
+from repro.core.serialize import (
+    checkpoint_header,
+    experiment_from_record,
+    experiment_record,
+    read_checkpoint,
+)
+from repro.ops.im2col import ConvGeometry
+from repro.ops.tiling import TilingPlan
+
+__all__ = [
+    "CampaignExecutor",
+    "GoldenCache",
+    "GOLDEN_CACHE",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "shard_sites",
+]
+
+
+class CampaignExecutor(Protocol):
+    """The strategy seam of :meth:`Campaign.run`."""
+
+    def execute(self, campaign: Campaign) -> CampaignResult:
+        """Run every experiment of ``campaign`` and merge the result."""
+        ...
+
+
+class GoldenCache:
+    """Memo of fault-free golden runs, keyed by campaign configuration.
+
+    The key is ``(workload, mesh, engine)`` — all frozen, hashable specs —
+    which subsumes the dataflow and operand policy (both live on the
+    workload). Cached arrays are shared between campaigns and are marked
+    read-only so accidental mutation fails loudly instead of corrupting a
+    sibling campaign's ground truth.
+    """
+
+    def __init__(self) -> None:
+        self._runs: dict[tuple, tuple] = {}
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def clear(self) -> None:
+        self._runs.clear()
+
+    def golden_run(
+        self, campaign: Campaign
+    ) -> tuple[np.ndarray, TilingPlan, ConvGeometry | None]:
+        """The campaign's golden (output, plan, geometry), computed once."""
+        key = (campaign.workload, campaign.mesh, campaign.engine_kind)
+        if key not in self._runs:
+            golden, plan, geometry = campaign.golden_run()
+            golden.setflags(write=False)
+            self._runs[key] = (golden, plan, geometry)
+        return self._runs[key]
+
+
+#: The process-wide golden-run memo shared by all executors.
+GOLDEN_CACHE = GoldenCache()
+
+
+def shard_sites(
+    sites: Sequence[tuple[int, int]], num_shards: int
+) -> list[list[tuple[int, int]]]:
+    """Split ``sites`` into at most ``num_shards`` contiguous chunks.
+
+    The split is a pure function of ``(len(sites), num_shards)``: chunk
+    boundaries never depend on timing or worker identity, so a sharded
+    sweep is replayable. Chunk sizes differ by at most one site.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    total = len(sites)
+    if total == 0:
+        return []
+    num_shards = min(num_shards, total)
+    base, extra = divmod(total, num_shards)
+    shards: list[list[tuple[int, int]]] = []
+    start = 0
+    for index in range(num_shards):
+        size = base + (1 if index < extra else 0)
+        shards.append([tuple(site) for site in sites[start : start + size]])
+        start += size
+    return shards
+
+
+def _merged_result(
+    campaign: Campaign,
+    golden: np.ndarray,
+    plan: TilingPlan,
+    geometry: ConvGeometry | None,
+    completed: dict[tuple[int, int], ExperimentResult],
+    wall_seconds: float,
+) -> CampaignResult:
+    """Assemble a result with experiments in canonical site order."""
+    return CampaignResult(
+        workload=campaign.workload,
+        fault_spec=campaign.fault_spec,
+        mesh=campaign.mesh,
+        golden=golden,
+        plan=plan,
+        geometry=geometry,
+        experiments=[completed[(row, col)] for row, col in campaign.sites],
+        wall_seconds=wall_seconds,
+    )
+
+
+class SerialExecutor:
+    """The single-process reference implementation of a campaign sweep."""
+
+    def execute(self, campaign: Campaign) -> CampaignResult:
+        start = time.perf_counter()
+        golden, plan, geometry = GOLDEN_CACHE.golden_run(campaign)
+        completed = {
+            (row, col): campaign.run_experiment(row, col, golden, plan, geometry)
+            for row, col in campaign.sites
+        }
+        return _merged_result(
+            campaign, golden, plan, geometry, completed,
+            time.perf_counter() - start,
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing
+# ----------------------------------------------------------------------
+# Each worker receives the campaign spec and the parent's golden context
+# exactly once, through the pool initializer; per-shard task payloads are
+# then just site lists. Module-level state is required because process
+# pools can only ship module-level callables.
+
+_WORKER_STATE: tuple | None = None
+
+
+def _init_worker(
+    campaign: Campaign,
+    golden: np.ndarray,
+    plan: TilingPlan,
+    geometry: ConvGeometry | None,
+) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (campaign, golden, plan, geometry)
+
+
+def _run_shard(shard: list[tuple[int, int]]) -> list[ExperimentResult]:
+    assert _WORKER_STATE is not None, "worker initializer did not run"
+    campaign, golden, plan, geometry = _WORKER_STATE
+    return [
+        campaign.run_experiment(row, col, golden, plan, geometry)
+        for row, col in shard
+    ]
+
+
+class ParallelExecutor:
+    """Sharded multi-process campaign execution with checkpoint/resume.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count (must be >= 1). ``jobs=1`` still runs through
+        a single-worker pool, exercising the exact code path larger counts
+        use.
+    checkpoint:
+        Path of an append-only JSONL stream to record completed
+        experiments into (created/continued as needed). Records land in
+        completion order; the merged result is canonical regardless.
+    resume:
+        Path of an existing checkpoint to resume from: already-recorded
+        sites are restored instead of re-executed, and newly completed
+        sites are appended to the same file. Implies ``checkpoint=resume``
+        unless a different checkpoint path is given explicitly.
+    shards_per_worker:
+        Sharding granularity; more shards per worker improves load balance
+        and checkpoint resolution at slightly higher dispatch overhead.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        checkpoint: str | Path | None = None,
+        resume: str | Path | None = None,
+        shards_per_worker: int = 4,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if shards_per_worker < 1:
+            raise ValueError(
+                f"shards_per_worker must be >= 1, got {shards_per_worker}"
+            )
+        self.jobs = jobs
+        self.resume = Path(resume) if resume is not None else None
+        if checkpoint is not None:
+            self.checkpoint = Path(checkpoint)
+        else:
+            self.checkpoint = self.resume
+        self.shards_per_worker = shards_per_worker
+
+    # ------------------------------------------------------------------
+    def _restore(
+        self,
+        campaign: Campaign,
+        golden: np.ndarray,
+        plan: TilingPlan,
+        geometry: ConvGeometry | None,
+    ) -> dict[tuple[int, int], ExperimentResult]:
+        """Experiments recovered from the resume checkpoint, by site."""
+        if self.resume is None:
+            return {}
+        header, records = read_checkpoint(self.resume)
+        expected = checkpoint_header(campaign)
+        mismatched = [
+            key
+            for key in ("workload", "mesh", "fault_spec", "engine")
+            if header.get(key) != expected[key]
+        ]
+        if mismatched:
+            raise ValueError(
+                f"checkpoint {self.resume} belongs to a different campaign "
+                f"(mismatched {', '.join(mismatched)}); refusing to resume"
+            )
+        valid_sites = set(campaign.sites)
+        restored: dict[tuple[int, int], ExperimentResult] = {}
+        for record in records:
+            experiment = experiment_from_record(
+                record, shape=golden.shape, plan=plan, geometry=geometry
+            )
+            if not campaign.keep_patterns:
+                experiment = replace(experiment, pattern=None)
+            key = (experiment.site.row, experiment.site.col)
+            if key in valid_sites:
+                restored[key] = experiment
+        return restored
+
+    def _open_checkpoint(self, campaign: Campaign) -> IO[str] | None:
+        """Open the checkpoint stream for appending, writing the header
+        when the file is new or empty."""
+        if self.checkpoint is None:
+            return None
+        self.checkpoint.parent.mkdir(parents=True, exist_ok=True)
+        stream = self.checkpoint.open("a")
+        if self.checkpoint.stat().st_size == 0:
+            stream.write(json.dumps(checkpoint_header(campaign)) + "\n")
+            stream.flush()
+        return stream
+
+    @staticmethod
+    def _record(
+        stream: IO[str] | None, experiment: ExperimentResult
+    ) -> None:
+        if stream is None:
+            return
+        stream.write(json.dumps(experiment_record(experiment)) + "\n")
+        stream.flush()
+
+    # ------------------------------------------------------------------
+    def execute(self, campaign: Campaign) -> CampaignResult:
+        start = time.perf_counter()
+        golden, plan, geometry = GOLDEN_CACHE.golden_run(campaign)
+        completed = self._restore(campaign, golden, plan, geometry)
+        pending = [site for site in campaign.sites if site not in completed]
+        stream = self._open_checkpoint(campaign)
+        try:
+            if pending:
+                shards = shard_sites(pending, self.jobs * self.shards_per_worker)
+                with ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_init_worker,
+                    initargs=(campaign, golden, plan, geometry),
+                ) as pool:
+                    futures: set[Future] = {
+                        pool.submit(_run_shard, shard) for shard in shards
+                    }
+                    while futures:
+                        done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            for experiment in future.result():
+                                key = (experiment.site.row, experiment.site.col)
+                                completed[key] = experiment
+                                self._record(stream, experiment)
+        finally:
+            if stream is not None:
+                stream.close()
+        return _merged_result(
+            campaign, golden, plan, geometry, completed,
+            time.perf_counter() - start,
+        )

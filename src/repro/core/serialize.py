@@ -18,11 +18,18 @@ sparse in exactly the structured way the taxonomy describes.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any
 
-from repro.core.campaign import CampaignResult
-from repro.core.classifier import PatternClass
+import numpy as np
+
+from repro.core.campaign import Campaign, CampaignResult, ExperimentResult
+from repro.core.classifier import Classification, PatternClass
+from repro.core.fault_patterns import FaultPattern
+from repro.faults.sites import FaultSite
+from repro.ops.im2col import ConvGeometry
+from repro.ops.tiling import TilingPlan
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -31,6 +38,10 @@ __all__ = [
     "load_campaign",
     "fault_dictionary",
     "save_fault_dictionary",
+    "checkpoint_header",
+    "experiment_record",
+    "experiment_from_record",
+    "read_checkpoint",
 ]
 
 #: Schema version written into every artefact.
@@ -147,3 +158,182 @@ def save_fault_dictionary(result: CampaignResult, path: str | Path) -> Path:
     path = Path(path)
     path.write_text(json.dumps(fault_dictionary(result), indent=2))
     return path
+
+
+# ----------------------------------------------------------------------
+# Checkpoint record codec (append-only JSONL, one experiment per line)
+# ----------------------------------------------------------------------
+#
+# A checkpoint file is a JSONL stream: the first line is a header
+# identifying the campaign (so a resume can refuse a mismatched file),
+# every following line is one completed experiment. Records are written
+# in *completion* order — which is nondeterministic under parallel
+# execution — and carry the fault site, so the executor can always merge
+# them back into canonical site order. The corruption pattern is stored
+# sparsely (corrupted coordinates plus their signed deviations); the full
+# mask/deviation arrays are rebuilt against the golden output's shape on
+# load, which keeps checkpoints small for exactly the reason the paper's
+# taxonomy exists: SSF corruption is structured and sparse.
+
+
+def checkpoint_header(campaign: Campaign) -> dict[str, Any]:
+    """The identifying first line of a campaign checkpoint stream."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "campaign-checkpoint",
+        "workload": campaign.workload.describe(),
+        "operation": str(campaign.workload.operation),
+        "mesh": {"rows": campaign.mesh.rows, "cols": campaign.mesh.cols},
+        "fault_spec": {
+            "signal": campaign.fault_spec.signal,
+            "bit": campaign.fault_spec.bit,
+            "stuck_value": campaign.fault_spec.stuck_value,
+        },
+        "engine": campaign.engine_kind,
+        "num_sites": len(campaign.sites),
+    }
+
+
+def experiment_record(experiment: ExperimentResult) -> dict[str, Any]:
+    """Serialise one experiment as a JSON-compatible checkpoint record.
+
+    The classification evidence is stored verbatim (not re-derived on
+    load) so that a resumed campaign is field-for-field identical to an
+    uninterrupted one even when patterns were not kept.
+    """
+    classification = experiment.classification
+    cells: list[list[int]] | None = None
+    if experiment.pattern is not None:
+        pattern = experiment.pattern
+        cells = [
+            [*(int(c) for c in coords), int(pattern.deviation[tuple(coords)])]
+            for coords in np.argwhere(pattern.mask)
+        ]
+    return {
+        "site": {
+            "row": experiment.site.row,
+            "col": experiment.site.col,
+            "signal": experiment.site.signal,
+            "bit": experiment.site.bit,
+        },
+        "classification": {
+            "pattern_class": classification.pattern_class.value,
+            "corrupted_tiles": [list(t) for t in classification.corrupted_tiles],
+            "local_cells": [list(c) for c in classification.local_cells],
+            "corrupted_channels": list(classification.corrupted_channels),
+        },
+        "num_corrupted": experiment.num_corrupted,
+        "max_abs_deviation": experiment.max_abs_deviation,
+        "cells": cells,
+    }
+
+
+def experiment_from_record(
+    record: dict[str, Any],
+    shape: tuple[int, ...] | None = None,
+    plan: TilingPlan | None = None,
+    geometry: ConvGeometry | None = None,
+) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from a checkpoint record.
+
+    Parameters
+    ----------
+    shape:
+        Output-tensor shape of the campaign's golden run; required to
+        densify the sparse cell list back into mask/deviation arrays.
+        When ``None`` (or the record carries no cells) the pattern is
+        restored as ``None``, exactly as a ``keep_patterns=False`` run
+        would have produced.
+    plan, geometry:
+        The campaign's tiling plan and conv geometry, reattached to the
+        rebuilt pattern.
+    """
+    site_fields = record["site"]
+    site = FaultSite(
+        row=site_fields["row"],
+        col=site_fields["col"],
+        signal=site_fields["signal"],
+        bit=site_fields["bit"],
+    )
+    evidence = record["classification"]
+    classification = Classification(
+        pattern_class=PatternClass(evidence["pattern_class"]),
+        corrupted_tiles=tuple(tuple(t) for t in evidence["corrupted_tiles"]),
+        local_cells=tuple(tuple(c) for c in evidence["local_cells"]),
+        corrupted_channels=tuple(evidence["corrupted_channels"]),
+    )
+    pattern: FaultPattern | None = None
+    cells = record.get("cells")
+    if cells is not None and shape is not None:
+        deviation = np.zeros(shape, dtype=np.int64)
+        for entry in cells:
+            *coords, value = entry
+            deviation[tuple(coords)] = value
+        pattern = FaultPattern(
+            mask=deviation != 0,
+            deviation=deviation,
+            plan=plan,
+            geometry=geometry,
+        )
+    return ExperimentResult(
+        site=site,
+        classification=classification,
+        num_corrupted=record["num_corrupted"],
+        max_abs_deviation=record["max_abs_deviation"],
+        pattern=pattern,
+    )
+
+
+def read_checkpoint(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Read a checkpoint stream: ``(header, experiment records)``.
+
+    A torn or otherwise corrupt record line — the expected artefact of a
+    campaign killed mid-write — is skipped with a :class:`RuntimeWarning`
+    rather than raised, so a resume can always make progress from the
+    records that did land. A corrupt *header* is unrecoverable (nothing
+    can be validated against it) and raises.
+
+    Raises
+    ------
+    FileNotFoundError
+        If ``path`` does not exist.
+    ValueError
+        If the file is empty, the header line is not valid JSON, or the
+        header's schema version is unknown.
+    """
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    stripped = [(i + 1, line) for i, line in enumerate(lines) if line.strip()]
+    if not stripped:
+        raise ValueError(f"checkpoint {path} is empty")
+    header_lineno, header_line = stripped[0]
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"checkpoint {path} has a corrupt header line: {exc}"
+        ) from exc
+    if not isinstance(header, dict) or header.get("kind") != "campaign-checkpoint":
+        raise ValueError(f"{path} is not a campaign checkpoint stream")
+    version = header.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    records: list[dict[str, Any]] = []
+    for lineno, line in stripped[1:]:
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict) or "site" not in record:
+                raise ValueError("record is not an experiment object")
+        except (json.JSONDecodeError, ValueError) as exc:
+            warnings.warn(
+                f"skipping corrupt checkpoint record at {path}:{lineno} "
+                f"({exc}); the site will be re-executed",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        records.append(record)
+    return header, records

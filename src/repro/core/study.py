@@ -24,6 +24,7 @@ from repro.core.campaign import (
     GemmWorkload,
 )
 from repro.core.classifier import PatternClass
+from repro.core.executor import ParallelExecutor
 from repro.core.predictor import predict_class
 from repro.core.reports import format_markdown_table, format_table
 from repro.core.sampling import paper_configurations
@@ -154,6 +155,7 @@ def run_paper_study(
     include_large: bool = True,
     fill: FillKind = FillKind.ONES,
     engine: str = "functional",
+    jobs: int = 1,
 ) -> StudyReport:
     """Run every Table I configuration and assemble the report.
 
@@ -167,7 +169,13 @@ def run_paper_study(
     include_large:
         Whether to include the 112x112 configurations (the expensive part
         of RQ3).
+    jobs:
+        Worker-process count per campaign; ``1`` keeps the serial
+        reference path, larger values shard each campaign's site sweep
+        over a process pool (the report is identical either way — see
+        :mod:`repro.core.executor`).
     """
+    executor = ParallelExecutor(jobs=jobs) if jobs > 1 else None
     mesh = mesh or MeshConfig.paper()
     report = StudyReport(mesh=mesh, fault_spec=fault_spec)
     seen: set[str] = set()
@@ -182,7 +190,7 @@ def run_paper_study(
             result = Campaign(
                 mesh, workload, fault_spec=fault_spec, sites=sites,
                 engine=engine,
-            ).run()
+            ).run(executor=executor)
             report.entries.append(
                 StudyEntry(
                     research_question=rq,

@@ -1,0 +1,43 @@
+"""Parallel campaign execution — façade over :mod:`repro.core.executor`.
+
+Import surface for callers that only care about scaling out campaigns
+(benches, services, notebook users) and not about the rest of
+:mod:`repro.core`::
+
+    from repro.parallel import ParallelExecutor
+
+    result = Campaign(mesh, workload).run(
+        ParallelExecutor(jobs=4, checkpoint="campaign.jsonl")
+    )
+
+See ``docs/parallel.md`` for the execution model, the golden-cache key,
+the checkpoint stream format, and the determinism guarantee.
+"""
+
+from repro.core.executor import (
+    GOLDEN_CACHE,
+    CampaignExecutor,
+    GoldenCache,
+    ParallelExecutor,
+    SerialExecutor,
+    shard_sites,
+)
+from repro.core.serialize import (
+    checkpoint_header,
+    experiment_from_record,
+    experiment_record,
+    read_checkpoint,
+)
+
+__all__ = [
+    "CampaignExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "GoldenCache",
+    "GOLDEN_CACHE",
+    "shard_sites",
+    "checkpoint_header",
+    "experiment_record",
+    "experiment_from_record",
+    "read_checkpoint",
+]

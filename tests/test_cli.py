@@ -25,6 +25,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["predict", "--row", "0", "--col", "0"])
 
+    def test_jobs_flag_parses_on_campaign_and_study(self):
+        assert build_parser().parse_args(["campaign"]).jobs == 1
+        assert build_parser().parse_args(["campaign", "-j", "4"]).jobs == 4
+        assert build_parser().parse_args(["campaign", "--jobs", "2"]).jobs == 2
+        assert build_parser().parse_args(["study", "-j", "3"]).jobs == 3
+
+    def test_resume_and_checkpoint_flags_parse(self):
+        args = build_parser().parse_args(
+            ["campaign", "--checkpoint", "c.jsonl", "--resume", "c.jsonl"]
+        )
+        assert args.checkpoint == "c.jsonl"
+        assert args.resume == "c.jsonl"
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "two"])
+    def test_nonpositive_jobs_rejected(self, bad, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["campaign", "--jobs", bad])
+        assert excinfo.value.code == 2
+        assert "--jobs" in capsys.readouterr().err
+
 
 class TestCampaignCommand:
     def test_gemm_campaign_summary(self, capsys):
@@ -72,6 +92,36 @@ class TestCampaignCommand:
         )
         assert code == 0
         assert "experiments : 5" in capsys.readouterr().out
+
+    def test_parallel_smoke_matches_serial(self, capsys):
+        """`repro-fi campaign -j 2` on a 4x4 array, byte-identical summary."""
+        argv = ["campaign", "--rows", "4", "--cols", "4", "--size", "4"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["-j", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+        assert "experiments : 16" in parallel_out
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        path = tmp_path / "campaign.jsonl"
+        argv = ["campaign", "--rows", "4", "--cols", "4", "--size", "4"]
+        assert main(argv + ["-j", "2", "--checkpoint", str(path)]) == 0
+        full_out = capsys.readouterr().out
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + 16  # header + one record per MAC
+        path.write_text("\n".join(lines[:9]) + "\n")  # killed mid-shard
+        assert main(argv + ["-j", "2", "--resume", str(path)]) == 0
+        assert capsys.readouterr().out == full_out
+        assert len(path.read_text().splitlines()) == 1 + 16
+
+    def test_resume_missing_file_is_an_error(self, tmp_path, capsys):
+        code = main(
+            ["campaign", "--rows", "4", "--cols", "4", "--size", "4",
+             "--resume", str(tmp_path / "absent.jsonl")]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestPredictCommand:
