@@ -4,32 +4,49 @@ The reproduction's correctness rests on cross-layer contracts — the signal
 registry in :mod:`repro.faults.sites`, integer-only datapath arithmetic,
 seeded sampling, frozen identity dataclasses, explicit ``__all__`` exports
 — that unit tests exercise but cannot *enforce*. This package enforces
-them statically: :mod:`repro.checks.engine` is a small AST rule engine
-with per-line ``# repro: ignore[rule]`` suppressions, and
-:mod:`repro.checks.rules` is the battery of repo-specific rules.
+them statically, at two granularities:
+
+* **per-file rules** — :mod:`repro.checks.engine` is a small AST rule
+  engine with per-line ``# repro: ignore[rule]`` suppressions, and
+  :mod:`repro.checks.rules` is the battery of repo-specific rules;
+* **whole-program passes** — :mod:`repro.checks.graph` builds a
+  project-wide import/symbol/call graph, on which
+  :mod:`repro.checks.determinism` proves the parallel executor's
+  worker-reachable code free of fork-safety hazards and
+  :mod:`repro.checks.intervals` proves the MAC datapath's
+  INT8×INT8→INT32 bit-width contract by abstract interpretation.
+
+Infrastructure: :mod:`repro.checks.cache` (incremental result cache and
+the ``lint_paths`` orchestrator), :mod:`repro.checks.baseline` (staged
+adoption), :mod:`repro.checks.sarif` (SARIF 2.1.0 output for GitHub
+code scanning).
 
 Run it from the CLI (``repro-fi lint src/repro``) or programmatically:
 
->>> from repro.checks import run_checks
->>> findings = run_checks(["src/repro"])
+>>> from repro.checks import lint_paths
+>>> findings = lint_paths(["src/repro"], cache_path=None)
 >>> [f.render() for f in findings]
 []
 
-See ``docs/static_analysis.md`` for the rule catalogue and how to add a
-rule.
+See ``docs/static_analysis.md`` for the rule catalogue and
+``docs/extending.md`` for how to write a rule.
 """
 
 from repro.checks.engine import (
     Finding,
+    ProjectRule,
     Rule,
     Severity,
     SourceModule,
     iter_python_files,
     load_module,
     module_name,
+    project_rules,
     render_json,
     render_text,
+    rule_catalog,
     run_checks,
+    run_project_checks,
 )
 from repro.checks.rules import (
     ALL_RULES,
@@ -40,6 +57,14 @@ from repro.checks.rules import (
     UnseededRandomRule,
     get_rule,
 )
+from repro.checks.baseline import (
+    apply_baseline,
+    baseline_fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.checks.cache import DEFAULT_CACHE_PATH, LintCache, lint_paths
+from repro.checks.sarif import render_sarif
 
 __all__ = [
     # engine
@@ -47,10 +72,14 @@ __all__ = [
     "Finding",
     "SourceModule",
     "Rule",
+    "ProjectRule",
     "module_name",
     "iter_python_files",
     "load_module",
     "run_checks",
+    "run_project_checks",
+    "project_rules",
+    "rule_catalog",
     "render_text",
     "render_json",
     # rules
@@ -61,4 +90,13 @@ __all__ = [
     "DataclassContractRule",
     "ALL_RULES",
     "get_rule",
+    # infrastructure
+    "DEFAULT_CACHE_PATH",
+    "LintCache",
+    "lint_paths",
+    "apply_baseline",
+    "baseline_fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "render_sarif",
 ]

@@ -1,0 +1,98 @@
+"""Committed-baseline mechanism for staged adoption of new rules.
+
+Turning on a new whole-program pass over a living tree usually surfaces
+pre-existing findings that cannot all be fixed in the introducing PR. A
+*baseline* freezes those known findings in a committed JSON file: lint
+runs subtract baselined findings and fail only on new ones, so the rule
+is enforced for all new code immediately while the backlog is burned
+down separately.
+
+Baselined findings are matched by a line-number-insensitive fingerprint
+``(path, rule, message)`` *with multiplicity*: moving code around does
+not resurrect a baselined finding, but introducing a second identical
+violation in the same file does fail the run. Fixing a baselined finding
+leaves a dangling entry, which is reported so baselines shrink
+monotonically instead of fossilising.
+
+(The repro tree itself carries no baseline — every finding the new
+passes surfaced was fixed in the introducing PR — but the mechanism is
+what makes that demand reasonable for downstream forks.)
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.checks.engine import Finding
+
+__all__ = [
+    "baseline_fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+_BASELINE_VERSION = 1
+
+
+def baseline_fingerprint(finding: Finding) -> tuple[str, str, str]:
+    """The line-number-insensitive identity of a finding."""
+    return (Path(finding.path).as_posix(), finding.rule, finding.message)
+
+
+def load_baseline(path: Path | str) -> Counter:
+    """Read a baseline file into a fingerprint multiset.
+
+    Raises
+    ------
+    ValueError
+        If the file is not a baseline of a supported version.
+    """
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("version") != _BASELINE_VERSION:
+        raise ValueError(
+            f"{path} is not a repro-fi lint baseline "
+            f"(expected version {_BASELINE_VERSION})"
+        )
+    baseline: Counter = Counter()
+    for entry in raw.get("entries", []):
+        fingerprint = (entry["path"], entry["rule"], entry["message"])
+        baseline[fingerprint] += int(entry.get("count", 1))
+    return baseline
+
+
+def write_baseline(path: Path | str, findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as a baseline file (stable order, mergeable)."""
+    counts = Counter(baseline_fingerprint(f) for f in findings)
+    entries = [
+        {"path": p, "rule": rule, "message": message, "count": count}
+        for (p, rule, message), count in sorted(counts.items())
+    ]
+    payload = {"version": _BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> tuple[list[Finding], Counter]:
+    """Subtract baselined findings.
+
+    Returns ``(new_findings, dangling)``: findings not covered by the
+    baseline, and baseline entries that no longer match anything (fixed
+    or renamed — candidates for removal from the committed file).
+    """
+    remaining = Counter(baseline)
+    new_findings: list[Finding] = []
+    for finding in findings:
+        fingerprint = baseline_fingerprint(finding)
+        if remaining.get(fingerprint, 0) > 0:
+            remaining[fingerprint] -= 1
+        else:
+            new_findings.append(finding)
+    dangling = Counter(
+        {key: count for key, count in remaining.items() if count > 0}
+    )
+    return new_findings, dangling

@@ -43,10 +43,14 @@ __all__ = [
     "Finding",
     "SourceModule",
     "Rule",
+    "ProjectRule",
     "module_name",
     "iter_python_files",
     "load_module",
+    "project_rules",
+    "rule_catalog",
     "run_checks",
+    "run_project_checks",
     "render_text",
     "render_json",
 ]
@@ -156,14 +160,18 @@ def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
     """Yield every ``.py`` file under ``paths``, deduplicated, sorted.
 
     Directories are walked recursively (``__pycache__`` skipped); plain
-    files must end in ``.py``.
+    files must end in ``.py``. Overlapping inputs (``lint src/repro
+    src/repro/checks``) are collapsed: each file is yielded exactly once —
+    under its first-seen spelling — and the overall order is canonical
+    (sorted by resolved path) regardless of the order or nesting of the
+    input paths.
 
     Raises
     ------
     FileNotFoundError
         If a path does not exist or is not a Python file / directory.
     """
-    seen: set[Path] = set()
+    collected: dict[Path, Path] = {}  # resolved -> first-seen spelling
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
@@ -177,10 +185,9 @@ def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
         for candidate in candidates:
             if "__pycache__" in candidate.parts:
                 continue
-            resolved = candidate.resolve()
-            if resolved not in seen:
-                seen.add(resolved)
-                yield candidate
+            collected.setdefault(candidate.resolve(), candidate)
+    for resolved in sorted(collected, key=lambda p: p.as_posix()):
+        yield collected[resolved]
 
 
 def load_module(path: Path) -> SourceModule:
@@ -250,6 +257,73 @@ class Rule:
             severity=self.severity,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Unlike :class:`Rule`, a project rule does not see one module at a
+    time: :meth:`check_project` receives the full
+    :class:`repro.checks.graph.ProjectGraph` and may follow call edges
+    across files. Findings are still anchored to concrete source
+    locations, and per-line ``# repro: ignore[...]`` suppressions apply
+    exactly as for per-file rules (enforced by
+    :func:`run_project_checks`).
+    """
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        raise NotImplementedError(
+            f"{self.id} is a project rule; use check_project()"
+        )
+
+    def check_project(self, graph) -> Iterator[Finding]:
+        """Yield every violation of this rule across the whole graph."""
+        raise NotImplementedError
+
+
+def project_rules() -> tuple["ProjectRule", ...]:
+    """The default whole-program battery, in documentation order."""
+    # Imported lazily: both modules import this module at load time.
+    from repro.checks.determinism import DETERMINISM_RULES
+    from repro.checks.intervals import INTERVAL_RULES
+
+    return (*DETERMINISM_RULES, *INTERVAL_RULES)
+
+
+def rule_catalog() -> tuple[Rule, ...]:
+    """Every rule — per-file and whole-program — in one tuple."""
+    from repro.checks.rules import ALL_RULES
+
+    return (*ALL_RULES, *project_rules())
+
+
+def run_project_checks(
+    paths: Sequence[str | Path],
+    rules: Iterable["ProjectRule"] | None = None,
+    graph=None,
+) -> list[Finding]:
+    """Run the whole-program battery over ``paths``.
+
+    Builds the project graph (unless one is supplied), runs every project
+    rule on it, drops suppressed findings, and returns the rest sorted by
+    location. Unparseable files are skipped here — :func:`run_checks`
+    already reports them as ``syntax-error`` findings.
+    """
+    if graph is None:
+        from repro.checks.graph import ProjectGraph
+
+        graph = ProjectGraph.build(paths)
+    if rules is None:
+        rules = project_rules()
+    by_path = {str(module.path): module for module in graph.modules.values()}
+    findings: list[Finding] = []
+    for rule in rules:
+        for found in rule.check_project(graph):
+            module = by_path.get(found.path)
+            if module is not None and module.is_suppressed(found.line, rule.id):
+                continue
+            findings.append(found)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
 
 
 def run_checks(

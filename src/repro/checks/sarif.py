@@ -1,0 +1,114 @@
+"""SARIF 2.1.0 rendering for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading a run turns every finding into an inline
+pull-request annotation. This renderer emits the minimal valid subset —
+one ``run``, a ``tool.driver`` carrying the full rule catalogue, and one
+``result`` per finding with a physical location.
+
+Layout notes (per the OASIS 2.1.0 spec):
+
+* ``ruleIndex`` must index into ``tool.driver.rules``; the catalogue
+  therefore always contains every rule (plus the ``syntax-error``
+  pseudo-rule), not just the ones that fired.
+* SARIF columns are 1-based; :class:`~repro.checks.engine.Finding` keeps
+  0-based columns (matching CPython's ``col_offset``), hence the ``+1``.
+* ``artifactLocation.uri`` should be a relative URI when possible so
+  code-scanning can map it onto the repository tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.checks.engine import Finding, Rule, Severity, rule_catalog
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "render_sarif"]
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
+#: The engine's pseudo-rule for unparseable files (not in any battery).
+_SYNTAX_ERROR_RULE = {
+    "id": "syntax-error",
+    "shortDescription": {"text": "file does not parse"},
+    "defaultConfiguration": {"level": "error"},
+}
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _rule_entry(rule: Rule) -> dict:
+    return {
+        "id": rule.id,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": _level(rule.severity)},
+    }
+
+
+def _uri(path: str) -> str:
+    """A relative, forward-slash URI when the path allows it."""
+    p = Path(path)
+    if p.is_absolute():
+        try:
+            p = p.relative_to(Path.cwd())
+        except ValueError:
+            return p.as_posix()
+    return p.as_posix()
+
+
+def render_sarif(
+    findings: Sequence[Finding], rules: Sequence[Rule] | None = None
+) -> str:
+    """Render ``findings`` as a SARIF 2.1.0 document (a JSON string)."""
+    if rules is None:
+        rules = rule_catalog()
+    catalogue = [_rule_entry(rule) for rule in rules]
+    catalogue.append(dict(_SYNTAX_ERROR_RULE))
+    index_of = {entry["id"]: index for index, entry in enumerate(catalogue)}
+
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": _level(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _uri(finding.path)},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in index_of:
+            result["ruleIndex"] = index_of[finding.rule]
+        results.append(result)
+
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-fi-lint",
+                        "rules": catalogue,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

@@ -17,8 +17,12 @@ Four subcommands mirror the workflows of the paper:
 ``repro-fi statespace``
     Print the FI state-space arithmetic of Section III-A.
 ``repro-fi lint``
-    Run the repo's AST invariant linter (:mod:`repro.checks`) over source
-    paths; non-zero exit on findings.
+    Run the repo's static analysis battery (:mod:`repro.checks`) over
+    source paths: per-file invariant rules plus the whole-program
+    determinism and bit-width interval passes. Incremental by default
+    (``--no-cache`` disables), with ``--format sarif`` for code-scanning
+    upload, ``--baseline`` for staged adoption, and ``--graph-dump`` to
+    inspect the project call graph. Non-zero exit on findings.
 
 Examples
 --------
@@ -184,7 +188,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     lint = sub.add_parser(
-        "lint", help="run the AST invariant linter over source paths"
+        "lint",
+        help="run the static analysis battery (per-file rules + "
+        "whole-program passes) over source paths",
     )
     lint.add_argument(
         "paths",
@@ -193,14 +199,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format",
+        help="report format (sarif: SARIF 2.1.0 for code scanning)",
     )
     lint.add_argument(
         "--list-rules",
         action="store_true",
-        help="print each rule's id, severity, and description, then exit",
+        help="print each rule's id, severity, scope, and description, "
+        "then exit",
+    )
+    lint.add_argument(
+        "--baseline",
+        help="subtract findings recorded in this baseline file; "
+        "only new findings fail the run",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental result cache",
+    )
+    lint.add_argument(
+        "--cache-path",
+        default=None,
+        help="incremental cache location "
+        "(default: .repro-lint-cache.json in the working directory)",
+    )
+    lint.add_argument(
+        "--graph-dump",
+        metavar="PATH",
+        help="write the project import/symbol/call graph as JSON to PATH "
+        "('-' for stdout) and exit",
     )
     return parser
 
@@ -357,17 +391,37 @@ def _cmd_zoo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _rule_scope_label(rule) -> str:
+    """The scope column of ``--list-rules``."""
+    from repro.checks.engine import ProjectRule
+
+    if isinstance(rule, ProjectRule):
+        return "whole-program"
+    if rule.scopes is None:
+        return "all modules"
+    return ", ".join(rule.scopes)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.checks import ALL_RULES, render_json, render_text, run_checks
+    from repro.checks import render_json, render_text
+    from repro.checks.baseline import (
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.checks.cache import DEFAULT_CACHE_PATH, lint_paths
+    from repro.checks.engine import rule_catalog
+    from repro.checks.sarif import render_sarif
 
     if args.list_rules:
-        rows = [
-            (rule.id, str(rule.severity), rule.description)
-            for rule in ALL_RULES
-        ]
-        print(format_table(("rule", "severity", "description"), rows))
+        rows = sorted(
+            (rule.id, str(rule.severity), _rule_scope_label(rule),
+             rule.description)
+            for rule in rule_catalog()
+        )
+        print(format_table(("rule", "severity", "scope", "description"), rows))
         return 0
     paths = list(args.paths)
     if not paths:
@@ -379,13 +433,58 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             )
             return 2
         paths = [str(default)]
+    if args.graph_dump:
+        import json as _json
+
+        from repro.checks.graph import ProjectGraph
+
+        try:
+            dump = _json.dumps(ProjectGraph.build(paths).to_dict(), indent=2)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.graph_dump == "-":
+            print(dump)
+        else:
+            Path(args.graph_dump).write_text(dump + "\n")
+            print(f"graph written to {args.graph_dump}")
+        return 0
+    cache_path = args.cache_path or DEFAULT_CACHE_PATH
     try:
-        findings = run_checks(paths)
+        findings = lint_paths(
+            paths, cache_path=cache_path, use_cache=not args.no_cache
+        )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.update_baseline:
+        if not args.baseline:
+            print(
+                "error: --update-baseline requires --baseline PATH",
+                file=sys.stderr,
+            )
+            return 2
+        write_baseline(args.baseline, findings)
+        print(f"baseline of {len(findings)} finding(s) written to "
+              f"{args.baseline}")
+        return 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, dangling = apply_baseline(findings, baseline)
+        for (b_path, b_rule, _), count in sorted(dangling.items()):
+            print(
+                f"note: baseline entry no longer matches ({b_path} "
+                f"[{b_rule}] x{count}); remove it from {args.baseline}",
+                file=sys.stderr,
+            )
     if args.format == "json":
         print(render_json(findings))
+    elif args.format == "sarif":
+        print(render_sarif(findings))
     else:
         print(render_text(findings))
     return 1 if findings else 0

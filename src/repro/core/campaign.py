@@ -21,7 +21,6 @@ check.
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable, Sequence
 

@@ -199,7 +199,7 @@ class FunctionalSimulator:
         n = b.shape[1]
         in_t = self.config.input_dtype
         acc_t = self.config.acc_dtype
-        for site in {f.site for f in self.injector.fault_set}:
+        for site in sorted({f.site for f in self.injector.fault_set}):
             r, c = site.row, site.col
             if r >= m or c >= n:
                 continue  # fault lands in an unused PE: masked by mapping
@@ -210,8 +210,8 @@ class FunctionalSimulator:
             acc = int(bias[r, c])
             for cycle in range(total_cycles):
                 step = cycle - r - c
-                av = int(a[r, step]) if 0 <= step < k else 0
-                bv = int(b[step, c]) if 0 <= step < k else 0
+                av = in_t.wrap(int(a[r, step])) if 0 <= step < k else 0
+                bv = in_t.wrap(int(b[step, c])) if 0 <= step < k else 0
                 for fault in a_faults:
                     av = fault.apply(av, in_t, cycle)
                 for fault in b_faults:

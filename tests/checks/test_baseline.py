@@ -1,0 +1,83 @@
+"""Baseline files: staged adoption with multiplicity and dangling entries."""
+
+import json
+
+import pytest
+
+from repro.checks.baseline import (
+    apply_baseline,
+    baseline_fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.checks.engine import Finding, Severity
+
+
+def _finding(path="src/repro/core/x.py", line=1, rule="export-hygiene",
+             message="public name 'f' missing from __all__"):
+    return Finding(
+        path=path,
+        line=line,
+        col=0,
+        rule=rule,
+        severity=Severity.WARNING,
+        message=message,
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding(), _finding(line=9)])
+        counts = load_baseline(path)
+        # Same (path, rule, message) at two lines -> multiplicity 2.
+        assert counts[baseline_fingerprint(_finding())] == 2
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestApply:
+    def test_baselined_findings_are_masked(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        known = _finding()
+        write_baseline(path, [known])
+        new = _finding(rule="bit-accuracy", message="float literal")
+        remaining, dangling = apply_baseline(
+            [known, new], load_baseline(path)
+        )
+        assert remaining == [new]
+        assert not dangling
+
+    def test_multiplicity_masks_only_that_many(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding()])
+        remaining, _ = apply_baseline(
+            [_finding(line=1), _finding(line=9)], load_baseline(path)
+        )
+        # One baselined occurrence; the second identical finding is new.
+        assert len(remaining) == 1
+
+    def test_fixed_findings_become_dangling(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        fixed = _finding(rule="bit-accuracy", message="float literal")
+        write_baseline(path, [_finding(), fixed])
+        remaining, dangling = apply_baseline(
+            [_finding()], load_baseline(path)
+        )
+        assert remaining == []
+        assert dangling[baseline_fingerprint(fixed)] == 1
+
+    def test_line_number_drift_does_not_invalidate(self, tmp_path):
+        # Fingerprints deliberately exclude the line, so pure code motion
+        # above a baselined finding does not resurface it.
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding(line=10)])
+        remaining, dangling = apply_baseline(
+            [_finding(line=400)], load_baseline(path)
+        )
+        assert remaining == []
+        assert not dangling

@@ -1,0 +1,119 @@
+"""Incremental cache: warm-run speedup, invalidation, safety."""
+
+import json
+import time
+from pathlib import Path
+
+from repro.checks import lint_paths
+from repro.checks.cache import LintCache, rules_fingerprint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+
+class TestWarmSpeedup:
+    def test_warm_rerun_at_least_5x_faster(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+
+        start = time.perf_counter()
+        cold = lint_paths([PACKAGE_ROOT], cache_path=cache_path)
+        cold_elapsed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = lint_paths([PACKAGE_ROOT], cache_path=cache_path)
+        warm_elapsed = time.perf_counter() - start
+
+        assert warm == cold
+        assert warm_elapsed < cold_elapsed / 5, (
+            f"warm {warm_elapsed:.3f}s vs cold {cold_elapsed:.3f}s"
+        )
+
+
+class TestInvalidation:
+    def _tree(self, write_module):
+        clean = write_module(
+            "repro.core.clean",
+            """
+            __all__ = ["fine"]
+
+            def fine():
+                return 1
+            """,
+        )
+        return clean
+
+    def test_file_edit_invalidates_only_that_file(
+        self, write_module, tmp_path
+    ):
+        clean = self._tree(write_module)
+        cache_path = tmp_path / "cache.json"
+        assert lint_paths([clean], cache_path=cache_path) == []
+
+        # Introduce a violation; the stale digest forces a re-lint.
+        clean.write_text(clean.read_text() + "\n\ndef leaked():\n    pass\n")
+        findings = lint_paths([clean], cache_path=cache_path)
+        assert any(f.rule == "export-hygiene" for f in findings)
+
+    def test_rules_change_drops_cache(self, write_module, tmp_path):
+        clean = self._tree(write_module)
+        cache_path = tmp_path / "cache.json"
+        lint_paths([clean], cache_path=cache_path)
+
+        raw = json.loads(cache_path.read_text())
+        assert raw["rules"] == rules_fingerprint()
+        raw["rules"] = "0" * 64  # simulate an edited rules package
+        cache_path.write_text(json.dumps(raw))
+
+        cache = LintCache(cache_path)
+        assert cache.files == {}
+        assert cache.project is None
+
+    def test_version_mismatch_drops_cache(self, write_module, tmp_path):
+        clean = self._tree(write_module)
+        cache_path = tmp_path / "cache.json"
+        lint_paths([clean], cache_path=cache_path)
+
+        raw = json.loads(cache_path.read_text())
+        raw["version"] = 999
+        cache_path.write_text(json.dumps(raw))
+
+        cache = LintCache(cache_path)
+        assert cache.files == {}
+
+    def test_corrupt_cache_file_is_ignored(self, write_module, tmp_path):
+        clean = self._tree(write_module)
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{ not json")
+        assert lint_paths([clean], cache_path=cache_path) == []
+        # And the run repaired it.
+        assert json.loads(cache_path.read_text())["version"] == 1
+
+
+class TestCacheBypass:
+    def test_use_cache_false_never_touches_disk(
+        self, write_module, tmp_path
+    ):
+        clean = self._tree = write_module(
+            "repro.core.clean",
+            """
+            __all__ = ["fine"]
+
+            def fine():
+                return 1
+            """,
+        )
+        cache_path = tmp_path / "cache.json"
+        lint_paths([clean], cache_path=cache_path, use_cache=False)
+        assert not cache_path.exists()
+
+    def test_none_cache_path_disables_cache(self, write_module):
+        clean = write_module(
+            "repro.core.clean",
+            """
+            __all__ = ["fine"]
+
+            def fine():
+                return 1
+            """,
+        )
+        assert lint_paths([clean], cache_path=None) == []

@@ -1,0 +1,333 @@
+"""Fork-safety/determinism pass: each hazard fires, and suppresses."""
+
+from repro.checks.determinism import (
+    DETERMINISM_RULES,
+    discover_worker_entries,
+)
+from repro.checks.engine import run_project_checks
+from repro.checks.graph import ProjectGraph
+
+
+def _findings(tmp_path, rule_id=None):
+    findings = run_project_checks([tmp_path], rules=DETERMINISM_RULES)
+    if rule_id is not None:
+        findings = [f for f in findings if f.rule == rule_id]
+    return findings
+
+
+class TestEntryDiscovery:
+    def test_conventional_names_and_submit_targets(
+        self, write_module, tmp_path
+    ):
+        write_module(
+            "repro.core.pool",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def _init_worker(state):
+                pass
+
+            def _run_shard(shard):
+                pass
+
+            def _task(x):
+                return x
+
+            def launch():
+                with ProcessPoolExecutor(initializer=_init_worker) as pool:
+                    pool.submit(_task, 1)
+            """,
+        )
+        graph = ProjectGraph.build([tmp_path])
+        entries = {e.qualname: e.kind for e in discover_worker_entries(graph)}
+        assert entries["repro.core.pool._init_worker"] == "initializer"
+        assert entries["repro.core.pool._run_shard"] == "conventional"
+        assert entries["repro.core.pool._task"] == "submitted"
+
+
+class TestWorkerGlobalWrite:
+    SOURCE = """
+        _CACHE = {{}}
+
+        def _run_shard(shard):
+            _CACHE[shard] = compute(shard)  {suffix}
+            return _CACHE[shard]
+
+        def compute(shard):
+            return shard
+        """
+
+    def test_fires(self, write_module, tmp_path):
+        write_module("repro.core.glob", self.SOURCE.format(suffix=""))
+        findings = _findings(tmp_path, "worker-global-write")
+        assert len(findings) == 1
+        assert "_CACHE" in findings[0].message or "module-level" in findings[0].message
+
+    def test_suppressed(self, write_module, tmp_path):
+        write_module(
+            "repro.core.glob",
+            self.SOURCE.format(suffix="# repro: ignore[worker-global-write]"),
+        )
+        assert _findings(tmp_path, "worker-global-write") == []
+
+    def test_initializer_is_exempt(self, write_module, tmp_path):
+        write_module(
+            "repro.core.init",
+            """
+            _STATE = {}
+
+            def _init_worker(payload):
+                _STATE["payload"] = payload
+            """,
+        )
+        assert _findings(tmp_path, "worker-global-write") == []
+
+
+class TestWorkerUnorderedIter:
+    SOURCE = """
+        def _run_shard(sites):
+            out = []
+            for site in {iterable}:  {suffix}
+                out.append(site)
+            return out
+        """
+
+    def test_set_comprehension_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.core.iter",
+            self.SOURCE.format(iterable="{s for s in sites}", suffix=""),
+        )
+        findings = _findings(tmp_path, "worker-unordered-iter")
+        assert len(findings) == 1
+        assert "sorted" in findings[0].message
+
+    def test_dict_keys_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.core.iter",
+            self.SOURCE.format(iterable="sites.keys()", suffix=""),
+        )
+        assert len(_findings(tmp_path, "worker-unordered-iter")) == 1
+
+    def test_sorted_wrapper_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.core.iter",
+            self.SOURCE.format(iterable="sorted({s for s in sites})", suffix=""),
+        )
+        assert _findings(tmp_path, "worker-unordered-iter") == []
+
+    def test_suppressed(self, write_module, tmp_path):
+        write_module(
+            "repro.core.iter",
+            self.SOURCE.format(
+                iterable="{s for s in sites}",
+                suffix="# repro: ignore[worker-unordered-iter]",
+            ),
+        )
+        assert _findings(tmp_path, "worker-unordered-iter") == []
+
+
+class TestMergeUnorderedIter:
+    SOURCE = """
+        def merge(futures, sites):
+            completed = {{}}
+            for future in futures:
+                for key, value in future.result():
+                    completed[key] = value
+            return [completed[k] for k in {iterable}]  {suffix}
+        """
+
+    def test_direct_iteration_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.core.merge",
+            self.SOURCE.format(iterable="completed", suffix=""),
+        )
+        findings = _findings(tmp_path, "merge-unordered-iter")
+        assert len(findings) == 1
+        assert "completion order" in findings[0].message
+
+    def test_canonical_key_sequence_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.core.merge",
+            self.SOURCE.format(iterable="sites", suffix=""),
+        )
+        assert _findings(tmp_path, "merge-unordered-iter") == []
+
+    def test_suppressed(self, write_module, tmp_path):
+        write_module(
+            "repro.core.merge",
+            self.SOURCE.format(
+                iterable="completed",
+                suffix="# repro: ignore[merge-unordered-iter]",
+            ),
+        )
+        assert _findings(tmp_path, "merge-unordered-iter") == []
+
+
+class TestWorkerWallClock:
+    SOURCE = """
+        import time
+
+        def _run_shard(shard):
+            start = time.perf_counter()  {suffix}
+            return shard, start
+        """
+
+    def test_fires_with_chain_note(self, write_module, tmp_path):
+        write_module("repro.core.clock", self.SOURCE.format(suffix=""))
+        findings = _findings(tmp_path, "worker-wall-clock")
+        assert len(findings) == 1
+        assert "time.perf_counter" in findings[0].message
+        assert "_run_shard" in findings[0].message
+
+    def test_suppressed(self, write_module, tmp_path):
+        write_module(
+            "repro.core.clock",
+            self.SOURCE.format(suffix="# repro: ignore[worker-wall-clock]"),
+        )
+        assert _findings(tmp_path, "worker-wall-clock") == []
+
+    def test_parent_side_clock_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.core.parent",
+            """
+            import time
+
+            def _run_shard(shard):
+                return shard
+
+            def orchestrate(pool, shards):
+                start = time.perf_counter()
+                futures = [pool.submit(_run_shard, s) for s in shards]
+                return time.perf_counter() - start, futures
+            """,
+        )
+        assert _findings(tmp_path, "worker-wall-clock") == []
+
+
+class TestWorkerEntropy:
+    def _source(self, call, suffix=""):
+        return f"""
+            import os
+            import random
+            import numpy
+
+            def _run_shard(shard):
+                return {call}  {suffix}
+            """
+
+    def test_os_urandom_fires(self, write_module, tmp_path):
+        write_module("repro.core.ent", self._source("os.urandom(4)"))
+        assert len(_findings(tmp_path, "worker-entropy")) == 1
+
+    def test_stdlib_random_fires(self, write_module, tmp_path):
+        write_module("repro.core.ent", self._source("random.random()"))
+        findings = _findings(tmp_path, "worker-entropy")
+        assert len(findings) == 1
+        assert "hidden global RNG state" in findings[0].message
+
+    def test_legacy_numpy_global_fires(self, write_module, tmp_path):
+        write_module("repro.core.ent", self._source("numpy.random.rand(3)"))
+        assert len(_findings(tmp_path, "worker-entropy")) == 1
+
+    def test_unseeded_default_rng_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.core.ent",
+            """
+            from numpy.random import default_rng
+
+            def _run_shard(shard):
+                return default_rng().integers(0, 10)
+            """,
+        )
+        assert len(_findings(tmp_path, "worker-entropy")) == 1
+
+    def test_seeded_default_rng_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.core.ent",
+            """
+            from numpy.random import default_rng
+
+            def _run_shard(shard):
+                return default_rng(shard).integers(0, 10)
+            """,
+        )
+        assert _findings(tmp_path, "worker-entropy") == []
+
+    def test_suppressed(self, write_module, tmp_path):
+        write_module(
+            "repro.core.ent",
+            self._source(
+                "os.urandom(4)", "# repro: ignore[worker-entropy]"
+            ),
+        )
+        assert _findings(tmp_path, "worker-entropy") == []
+
+
+class TestWorkerUnpicklable:
+    def test_lambda_at_submit_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.core.pick",
+            """
+            def launch(pool, shards):
+                return [pool.submit(lambda s: s, shard) for shard in shards]
+            """,
+        )
+        findings = _findings(tmp_path, "worker-unpicklable")
+        assert len(findings) == 1
+        assert "lambda" in findings[0].message
+
+    def test_nested_def_at_initializer_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.core.pick",
+            """
+            def launch(make_pool, payload):
+                def setup():
+                    return payload
+
+                return make_pool(initializer=setup)
+            """,
+        )
+        findings = _findings(tmp_path, "worker-unpicklable")
+        assert len(findings) == 1
+        assert "hoist it to module level" in findings[0].message
+
+    def test_module_level_function_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.core.pick",
+            """
+            def _task(s):
+                return s
+
+            def launch(pool, shards):
+                return [pool.submit(_task, shard) for shard in shards]
+            """,
+        )
+        assert _findings(tmp_path, "worker-unpicklable") == []
+
+    def test_suppressed(self, write_module, tmp_path):
+        write_module(
+            "repro.core.pick",
+            """
+            def launch(pool, shards):
+                return [
+                    pool.submit(lambda s: s, shard)  # repro: ignore[worker-unpicklable]
+                    for shard in shards
+                ]
+            """,
+        )
+        assert _findings(tmp_path, "worker-unpicklable") == []
+
+
+class TestChainRendering:
+    def test_deep_chain_is_elided(self, write_module, tmp_path):
+        body = ["import time", "", "def _run_shard(x):", "    f1(x)", ""]
+        for i in range(1, 7):
+            body.append(f"def f{i}(x):")
+            body.append(
+                f"    f{i + 1}(x)" if i < 6 else "    time.time()"
+            )
+            body.append("")
+        write_module("repro.core.deep", "\n".join(body))
+        findings = _findings(tmp_path, "worker-wall-clock")
+        assert len(findings) == 1
+        assert "…" in findings[0].message

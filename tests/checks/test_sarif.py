@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 output: structure, rule indices, coordinates."""
+
+import json
+
+from repro.checks.engine import Finding, Severity, rule_catalog
+from repro.checks.sarif import SARIF_SCHEMA, SARIF_VERSION, render_sarif
+
+
+def _finding(**overrides):
+    defaults = dict(
+        path="src/repro/systolic/mac.py",
+        line=12,
+        col=4,
+        rule="bit-accuracy",
+        severity=Severity.ERROR,
+        message="float literal in the datapath",
+    )
+    defaults.update(overrides)
+    return Finding(**defaults)
+
+
+class TestDocumentShape:
+    def test_schema_and_version(self):
+        doc = json.loads(render_sarif([]))
+        assert doc["$schema"] == SARIF_SCHEMA
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert len(doc["runs"]) == 1
+
+    def test_driver_carries_full_catalogue(self):
+        doc = json.loads(render_sarif([]))
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-fi-lint"
+        ids = {entry["id"] for entry in driver["rules"]}
+        assert {rule.id for rule in rule_catalog()} <= ids
+        assert "syntax-error" in ids
+
+    def test_catalogue_entries_have_level_and_description(self):
+        doc = json.loads(render_sarif([]))
+        for entry in doc["runs"][0]["tool"]["driver"]["rules"]:
+            assert entry["shortDescription"]["text"]
+            assert entry["defaultConfiguration"]["level"] in ("warning", "error")
+
+
+class TestResults:
+    def test_rule_index_points_at_matching_rule(self):
+        findings = [
+            _finding(),
+            _finding(rule="worker-wall-clock", severity=Severity.ERROR),
+            _finding(rule="export-hygiene", severity=Severity.WARNING),
+        ]
+        doc = json.loads(render_sarif(findings))
+        run = doc["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_levels_map_from_severity(self):
+        doc = json.loads(
+            render_sarif(
+                [
+                    _finding(severity=Severity.ERROR),
+                    _finding(
+                        rule="export-hygiene", severity=Severity.WARNING
+                    ),
+                ]
+            )
+        )
+        levels = [r["level"] for r in doc["runs"][0]["results"]]
+        assert levels == ["error", "warning"]
+
+    def test_region_columns_are_one_based(self):
+        doc = json.loads(render_sarif([_finding(line=12, col=4)]))
+        region = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region["startLine"] == 12
+        assert region["startColumn"] == 5  # SARIF columns are 1-based
+
+    def test_uri_is_posix_relative(self):
+        doc = json.loads(render_sarif([_finding()]))
+        uri = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["artifactLocation"]["uri"]
+        assert "\\" not in uri
+        assert not uri.startswith("/")
+
+    def test_message_text_round_trips(self):
+        doc = json.loads(render_sarif([_finding(message="boom & <tag>")]))
+        assert (
+            doc["runs"][0]["results"][0]["message"]["text"] == "boom & <tag>"
+        )

@@ -3,24 +3,56 @@
 This is the acceptance gate of the checks subsystem — every invariant rule
 runs over ``src/repro`` itself, so any future change that breaks a
 contract (a float in the datapath, a raw signal literal, an unseeded RNG,
-a drifting ``__all__``, an unfrozen contract dataclass) fails the suite.
+a drifting ``__all__``, an unfrozen contract dataclass, a fork-safety
+hazard on a worker path, a signal drive that escapes its width) fails the
+suite. True positives get fixed in-source, never baselined here.
 """
 
 from pathlib import Path
 
-from repro.checks import ALL_RULES, render_text, run_checks
+from repro.checks import (
+    ALL_RULES,
+    lint_paths,
+    project_rules,
+    render_text,
+    rule_catalog,
+    run_checks,
+)
+from repro.checks.graph import ProjectGraph
+from repro.checks.intervals import verify_intervals
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Every signal the MAC datapath registers; each must get a drive proof.
+MAC_SIGNALS = {"a_reg", "b_reg", "product", "sum"}
 
 
 def test_package_root_exists():
     assert PACKAGE_ROOT.is_dir(), PACKAGE_ROOT
 
 
-def test_repository_lints_clean():
+def test_repository_lints_clean_per_file():
     findings = run_checks([PACKAGE_ROOT])
     assert findings == [], "\n" + render_text(findings)
+
+
+def test_repository_lints_clean_full_battery():
+    findings = lint_paths([PACKAGE_ROOT], cache_path=None)
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_mac_drive_obligations_all_discharged():
+    graph = ProjectGraph.build([PACKAGE_ROOT])
+    findings, proofs = verify_intervals(graph)
+    assert findings == [], "\n" + render_text(findings)
+    proved = {proof.signal for proof in proofs}
+    assert MAC_SIGNALS <= proved, f"unproved signals: {MAC_SIGNALS - proved}"
+    # The paper's datapath containment fact, statically derived: an
+    # INT8xINT8 product can never exceed [-16256, 16384] and therefore
+    # always fits the INT32 accumulator without wrapping.
+    product = next(p for p in proofs if p.signal == "product")
+    assert (product.interval.lo, product.interval.hi) == (-16256, 16384)
 
 
 def test_full_battery_ran():
@@ -32,3 +64,14 @@ def test_full_battery_ran():
         "export-hygiene",
         "dataclass-contract",
     }
+    assert {rule.id for rule in project_rules()} == {
+        "worker-global-write",
+        "worker-unordered-iter",
+        "merge-unordered-iter",
+        "worker-wall-clock",
+        "worker-entropy",
+        "worker-unpicklable",
+        "interval-escape",
+        "mask-closure",
+    }
+    assert len(rule_catalog()) == len(ALL_RULES) + len(project_rules())

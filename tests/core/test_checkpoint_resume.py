@@ -96,6 +96,50 @@ class TestCheckpointStream:
         assert rebuilt.classification == experiment.classification
 
 
+class TestTornRecords:
+    """Direct unit coverage of read_checkpoint's corrupt-record path."""
+
+    def test_torn_trailing_line_warns_and_is_skipped(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        run_with_checkpoint(path)
+        _, intact = read_checkpoint(path)
+        lineno = len(path.read_text().splitlines()) + 1
+        with path.open("a") as stream:
+            stream.write('{"site": {"row": 2, "col"')  # torn mid-write
+        with pytest.warns(RuntimeWarning) as caught:
+            header, records = read_checkpoint(path)
+        # The torn line is dropped; every intact record survives.
+        assert records == intact
+        assert header["kind"] == "campaign-checkpoint"
+        message = str(caught[0].message)
+        assert f"{path}:{lineno}" in message
+        assert "skipping corrupt checkpoint record" in message
+        assert "the site will be re-executed" in message
+
+    def test_valid_json_without_site_also_warns(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        run_with_checkpoint(path)
+        _, intact = read_checkpoint(path)
+        with path.open("a") as stream:
+            stream.write(json.dumps({"rows": 2}) + "\n")
+        with pytest.warns(
+            RuntimeWarning, match="not an experiment object"
+        ):
+            _, records = read_checkpoint(path)
+        assert records == intact
+
+    def test_torn_middle_record_keeps_later_records(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        run_with_checkpoint(path)
+        lines = path.read_text().splitlines()
+        lines.insert(3, '{"half a reco')  # corruption mid-stream
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.warns(RuntimeWarning, match=rf"{path}:4 "):
+            _, records = read_checkpoint(path)
+        # Only the injected line is lost.
+        assert len(records) == len(lines) - 2
+
+
 class TestResume:
     def _truncate(self, path, keep_records: int):
         """Keep the header plus the first ``keep_records`` records."""

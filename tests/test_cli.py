@@ -186,7 +186,7 @@ class TestZooCommand:
 
 class TestLintCommand:
     def test_clean_tree_exits_zero(self, capsys):
-        code = main(["lint", str(PACKAGE_ROOT)])
+        code = main(["lint", str(PACKAGE_ROOT), "--no-cache"])
         out = capsys.readouterr().out
         assert code == 0
         assert "no findings" in out
@@ -223,13 +223,98 @@ class TestLintCommand:
             "unseeded-random",
             "export-hygiene",
             "dataclass-contract",
+            "worker-global-write",
+            "worker-unordered-iter",
+            "merge-unordered-iter",
+            "worker-wall-clock",
+            "worker-entropy",
+            "worker-unpicklable",
+            "interval-escape",
+            "mask-closure",
         ):
             assert rule_id in out
+        # Severity and scope columns are present, and output is sorted.
+        assert "severity" in out and "scope" in out
+        assert "whole-program" in out
+        ids = [
+            line.split()[0]
+            for line in out.splitlines()[2:]
+            if line.strip()
+        ]
+        assert ids == sorted(ids)
 
     def test_missing_path_is_usage_error(self, tmp_path, capsys):
         code = main(["lint", str(tmp_path / "nope")])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+    def test_sarif_output_parses(self, tmp_path, capsys):
+        target = tmp_path / "loose.py"
+        target.write_text("def orphan():\n    return 1\n")
+        code = main(["lint", str(target), "--format", "sarif", "--no-cache"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert results[0]["ruleId"] == "export-hygiene"
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert rules[results[0]["ruleIndex"]]["id"] == "export-hygiene"
+
+    def test_graph_dump_to_stdout(self, capsys):
+        code = main(["lint", str(PACKAGE_ROOT), "--graph-dump", "-"])
+        dump = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert "functions" in dump and "modules" in dump
+
+    def test_graph_dump_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "graph.json"
+        code = main(
+            ["lint", str(PACKAGE_ROOT), "--graph-dump", str(out_path)]
+        )
+        assert code == 0
+        assert "graph written" in capsys.readouterr().out
+        assert "functions" in json.loads(out_path.read_text())
+
+    def test_baseline_roundtrip(self, tmp_path, capsys):
+        target = tmp_path / "loose.py"
+        target.write_text("def orphan():\n    return 1\n")
+        baseline = tmp_path / "baseline.json"
+        code = main(
+            ["lint", str(target), "--no-cache",
+             "--baseline", str(baseline), "--update-baseline"]
+        )
+        assert code == 0
+        assert "baseline of 1 finding(s)" in capsys.readouterr().out
+        # Masked by the baseline on the next run.
+        code = main(
+            ["lint", str(target), "--no-cache", "--baseline", str(baseline)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "no findings" in captured.out
+        # Fixing the violation makes the entry dangling, reported as a note.
+        target.write_text("__all__ = []\n")
+        code = main(
+            ["lint", str(target), "--no-cache", "--baseline", str(baseline)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "no longer matches" in captured.err
+
+    def test_update_baseline_requires_baseline_path(self, tmp_path, capsys):
+        target = tmp_path / "loose.py"
+        target.write_text("__all__ = []\n")
+        code = main(["lint", str(target), "--no-cache", "--update-baseline"])
+        assert code == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_cache_path_flag_writes_cache(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("__all__ = []\n")
+        cache = tmp_path / "cache.json"
+        code = main(["lint", str(target), "--cache-path", str(cache)])
+        assert code == 0
+        assert cache.exists()
 
 
 class TestAtlasAndStatespace:
