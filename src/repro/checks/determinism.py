@@ -49,6 +49,12 @@ Rules
     A lambda or closure handed to ``submit``/``map``/``initializer=``:
     process pools pickle their callables, so these fail at runtime — and
     only once a pool actually spins up.
+``worker-exception-swallow``
+    A bare ``except:`` (or ``except Exception:`` / ``BaseException``)
+    whose body only passes, on a worker-reachable path. The resilient
+    executor's whole failure protocol — retry, bisection, quarantine —
+    keys off worker exceptions propagating to the parent; a swallowed
+    failure instead returns a silently incomplete or corrupt shard.
 """
 
 from __future__ import annotations
@@ -73,6 +79,7 @@ __all__ = [
     "WorkerWallClockRule",
     "WorkerEntropyRule",
     "WorkerUnpicklableRule",
+    "WorkerExceptionSwallowRule",
     "DETERMINISM_RULES",
 ]
 
@@ -622,6 +629,78 @@ class WorkerUnpicklableRule(ProjectRule):
             )
 
 
+#: ``ast.TryStar`` (except*) exists only on Python >= 3.11.
+_TRY_NODES: tuple[type, ...] = (
+    (ast.Try, ast.TryStar) if hasattr(ast, "TryStar") else (ast.Try,)
+)
+
+
+class WorkerExceptionSwallowRule(_WorkerRule):
+    """Worker code must let failures propagate to the parent."""
+
+    id = "worker-exception-swallow"
+    description = (
+        "worker-reachable code must not swallow exceptions with a bare "
+        "except:/except Exception: pass; the resilience protocol (retry, "
+        "bisection, quarantine) keys off worker failures propagating"
+    )
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        chains, _ = self._closure(graph)
+        for qualname in sorted(chains):
+            info = graph.functions[qualname]
+            note = _chain_note(chains[qualname])
+            for node in ast.walk(info.node):
+                if not isinstance(node, _TRY_NODES):
+                    continue
+                for handler in node.handlers:
+                    label = self._broad_label(handler.type)
+                    if label is None or not self._swallows(handler):
+                        continue
+                    yield self.finding(
+                        info.module,
+                        handler,
+                        f"{_short(info.qualname)} swallows {label} on a "
+                        f"worker path ({note}); a swallowed worker failure "
+                        "silently corrupts the shard instead of triggering "
+                        "retry/bisection/quarantine — let it propagate or "
+                        "catch a specific exception type",
+                    )
+
+    def _broad_label(self, type_expr: ast.expr | None) -> str | None:
+        """A display label when the handler is broad, else ``None``."""
+        if type_expr is None:
+            return "a bare 'except:'"
+        clauses = (
+            type_expr.elts if isinstance(type_expr, ast.Tuple) else [type_expr]
+        )
+        for clause in clauses:
+            name = (
+                clause.id
+                if isinstance(clause, ast.Name)
+                else clause.attr
+                if isinstance(clause, ast.Attribute)
+                else None
+            )
+            if name in self._BROAD:
+                return f"'except {name}:'"
+        return None
+
+    @staticmethod
+    def _swallows(handler: ast.ExceptHandler) -> bool:
+        """True when the handler body discards the exception entirely."""
+        return all(
+            isinstance(stmt, (ast.Pass, ast.Continue, ast.Break))
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+            )
+            for stmt in handler.body
+        )
+
+
 #: The determinism battery, in documentation order.
 DETERMINISM_RULES: tuple[ProjectRule, ...] = (
     WorkerGlobalWriteRule(),
@@ -630,4 +709,5 @@ DETERMINISM_RULES: tuple[ProjectRule, ...] = (
     WorkerWallClockRule(),
     WorkerEntropyRule(),
     WorkerUnpicklableRule(),
+    WorkerExceptionSwallowRule(),
 )

@@ -53,6 +53,7 @@ from repro.core import (
 )
 from repro.core.executor import ParallelExecutor
 from repro.core.reports import campaign_summary, format_table
+from repro.core.resilience import CampaignExecutionError, CampaignInterrupted
 from repro.core.sampling import StateSpace, random_sites
 from repro.core.serialize import save_campaign, save_fault_dictionary
 from repro.faults.sites import MAC_SIGNALS, PAPER_FAULT_SIGNAL, FaultSite
@@ -75,6 +76,28 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    """argparse type for flags that must be >= 0 (e.g. ``--max-retries``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for flags that must be > 0 (e.g. ``--shard-timeout``)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -82,6 +105,35 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         type=_positive_int,
         default=1,
         help="worker processes for the site sweep (1 = serial reference)",
+    )
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """Failure-policy knobs of the parallel executor (docs/resilience.md)."""
+    parser.add_argument(
+        "--shard-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog deadline per shard attempt; a hung worker is "
+        "killed, the pool reconstituted, and the shard retried "
+        "(default: no deadline)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="retries per shard before bisection/quarantine kicks in "
+        "(default: 2, with deterministic exponential backoff)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=("abort", "quarantine"),
+        default="quarantine",
+        help="once retries are exhausted: 'abort' raises a typed error, "
+        "'quarantine' (default) isolates the poison site into the "
+        "checkpoint and completes the rest of the campaign",
     )
 
 
@@ -144,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume an interrupted campaign from this JSONL checkpoint "
         "(completed sites are not re-executed; new ones are appended)",
     )
+    _add_resilience_flags(campaign)
 
     predict = sub.add_parser(
         "predict", help="analytically predict one fault pattern"
@@ -172,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     study.add_argument("--markdown", help="write the report as markdown here")
     _add_jobs_flag(study)
+    _add_resilience_flags(study)
 
     zoo = sub.add_parser(
         "zoo", help="per-layer vulnerability of a known network's shapes"
@@ -264,15 +318,31 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     executor = None
     if args.jobs > 1 or args.checkpoint or args.resume:
         executor = ParallelExecutor(
-            jobs=args.jobs, checkpoint=args.checkpoint, resume=args.resume
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            shard_timeout=args.shard_timeout,
+            max_retries=args.max_retries,
+            on_error=args.on_error,
         )
     try:
         result = Campaign(mesh, workload, fault_spec=spec, sites=sites).run(
             executor=executor
         )
+    except CampaignInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        if exc.checkpoint is not None:
+            print(
+                f"rerun with --resume {exc.checkpoint} to continue",
+                file=sys.stderr,
+            )
+        return 128 + exc.signum
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except CampaignExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     print(campaign_summary(result))
     if args.json:
         path = save_campaign(result, args.json)
@@ -342,7 +412,13 @@ def _cmd_study(args: argparse.Namespace) -> int:
     mesh = MeshConfig(rows=args.rows, cols=args.cols)
     sites = diagonal_sites(mesh) if args.fast else None
     report = run_paper_study(
-        mesh=mesh, sites=sites, include_large=not args.fast, jobs=args.jobs
+        mesh=mesh,
+        sites=sites,
+        include_large=not args.fast,
+        jobs=args.jobs,
+        shard_timeout=args.shard_timeout,
+        max_retries=args.max_retries,
+        on_error=args.on_error,
     )
     print(report.to_text())
     if args.markdown:

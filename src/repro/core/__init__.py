@@ -25,6 +25,7 @@ from repro.core.campaign import (
     OperationType,
     operand_seeds,
 )
+from repro.core.chaos import ChaosAction, ChaosError, ChaosSpec
 from repro.core.executor import (
     GOLDEN_CACHE,
     CampaignExecutor,
@@ -32,6 +33,19 @@ from repro.core.executor import (
     ParallelExecutor,
     SerialExecutor,
     shard_sites,
+)
+from repro.core.resilience import (
+    CampaignExecutionError,
+    CampaignInterrupted,
+    CheckpointCorrupt,
+    FailureKind,
+    FailureRecord,
+    OnError,
+    PoisonSite,
+    PoolBroken,
+    RetryPolicy,
+    ShardCrash,
+    ShardTimeout,
 )
 from repro.core.classifier import Classification, PatternClass, classify_pattern
 from repro.core.fault_patterns import FaultPattern, extract_pattern
@@ -75,7 +89,10 @@ from repro.core.serialize import (
     checkpoint_header,
     experiment_from_record,
     experiment_record,
+    failure_from_record,
+    failure_record,
     fault_dictionary,
+    is_failure_record,
     load_campaign,
     read_checkpoint,
     save_campaign,
@@ -143,7 +160,24 @@ __all__ = [
     "checkpoint_header",
     "experiment_record",
     "experiment_from_record",
+    "failure_record",
+    "failure_from_record",
+    "is_failure_record",
     "read_checkpoint",
+    "CampaignExecutionError",
+    "ShardCrash",
+    "ShardTimeout",
+    "PoisonSite",
+    "PoolBroken",
+    "CheckpointCorrupt",
+    "CampaignInterrupted",
+    "FailureKind",
+    "OnError",
+    "RetryPolicy",
+    "FailureRecord",
+    "ChaosSpec",
+    "ChaosAction",
+    "ChaosError",
     "diagnose",
     "DiagnosisResult",
     "required_sample_size",

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.classifier import Classification, PatternClass, classify_pattern
 from repro.core.fault_patterns import FaultPattern, extract_pattern
+from repro.core.resilience import FailureRecord
 from repro.faults.injector import NO_FAULTS, FaultInjector
 from repro.faults.model import FaultDescriptor, FaultSet, StuckAtFault
 from repro.faults.sites import PAPER_FAULT_SIGNAL, FaultSite, signal_dtype
@@ -283,7 +284,15 @@ class ExperimentResult:
 
 @dataclass
 class CampaignResult:
-    """All experiments of one campaign plus the shared golden context."""
+    """All experiments of one campaign plus the shared golden context.
+
+    A resilient run may *degrade gracefully*: sites the runtime had to
+    quarantine (see :mod:`repro.core.resilience`) are listed in
+    ``failures`` instead of ``experiments``. The reductions below then
+    describe exactly the sites that ran — still bit-identical to a serial
+    run over those sites — and ``is_complete`` distinguishes a full sweep
+    from a degraded one.
+    """
 
     workload: GemmWorkload | ConvWorkload
     fault_spec: FaultSpec
@@ -293,6 +302,16 @@ class CampaignResult:
     geometry: ConvGeometry | None
     experiments: list[ExperimentResult] = field(default_factory=list)
     wall_seconds: float = 0.0
+    failures: list[FailureRecord] = field(default_factory=list)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when no site was quarantined (every experiment ran)."""
+        return not self.failures
+
+    def quarantined_sites(self) -> list[tuple[int, int]]:
+        """MAC coordinates the runtime gave up on, in site order."""
+        return [failure.site for failure in self.failures]
 
     # ------------------------------------------------------------------
     # Reductions used by the RQ benches

@@ -1,4 +1,4 @@
-"""Sharded, cached, resumable campaign execution.
+"""Sharded, cached, resumable, *failure-tolerant* campaign execution.
 
 The paper's headline claim rests on *exhaustive* SSF sweeps — every MAC
 unit of the array, one fault per experiment — and each experiment is an
@@ -18,34 +18,82 @@ This module is the execution engine behind :meth:`Campaign.run`:
   run once. Workers never compute it at all: the parent ships the golden
   output to every worker through the pool initializer.
 
+Resilience
+----------
+At production scale worker crashes, hung shards, and poisoned fault
+sites are routine; the executor survives them instead of aborting
+(taxonomy and policy types in :mod:`repro.core.resilience`, protocol
+details in ``docs/resilience.md``):
+
+* a **watchdog** enforces a per-shard deadline (``shard_timeout``); a
+  hung worker cannot be cancelled, so the pool is killed, reconstituted,
+  and innocent in-flight shards are requeued without penalty;
+* failures are **retried** under a deterministic, jitter-free
+  exponential backoff (:class:`~repro.core.resilience.RetryPolicy`);
+* a shard that keeps failing is **bisected** until the poison site is
+  isolated; under ``on_error="quarantine"`` that site becomes a
+  structured :class:`~repro.core.resilience.FailureRecord` (persisted in
+  the checkpoint) and the rest of the campaign completes;
+* after a pool collapse the culprit cannot be attributed (every
+  in-flight future dies), so all in-flight shards become **suspects**
+  and are retried one at a time until the innocent ones clear;
+* SIGINT/SIGTERM trigger **graceful shutdown**: finished futures are
+  drained into the fsynced checkpoint, then
+  :class:`~repro.core.resilience.CampaignInterrupted` is raised and a
+  rerun with ``resume=`` continues from the exact remainder.
+
 Determinism guarantee
 ---------------------
-Whatever the worker count or OS scheduling, the merged
-:class:`CampaignResult` lists experiments in *canonical site order* (the
-campaign's ``sites`` sequence), every worker regenerates bit-identical
-operands from the pickled workload spec (see
-:func:`repro.core.campaign.operand_seeds`), and each experiment is a pure
-function of (workload, mesh, fault site). ``census()``, ``sdc_rate()``
-and ``dominant_class()`` are therefore bit-identical to the serial path;
-only ``wall_seconds`` differs.
+Whatever the worker count, OS scheduling, or failure schedule, the
+merged :class:`CampaignResult` lists experiments in *canonical site
+order* (the campaign's ``sites`` sequence), every worker regenerates
+bit-identical operands from the pickled workload spec (see
+:func:`repro.core.campaign.operand_seeds`), and each experiment is a
+pure function of (workload, mesh, fault site). ``census()``,
+``sdc_rate()`` and ``dominant_class()`` are therefore bit-identical to
+the serial path over the sites that ran; only ``wall_seconds`` differs.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import signal as _signal_module
+import threading
 import time
+import warnings
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from dataclasses import replace
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import IO, Protocol, Sequence
+from typing import IO, Iterator, Protocol, Sequence
 
 import numpy as np
 
 from repro.core.campaign import Campaign, CampaignResult, ExperimentResult
+from repro.core.chaos import ChaosSpec
+from repro.core.resilience import (
+    CampaignExecutionError,
+    CampaignInterrupted,
+    CheckpointCorrupt,
+    FailureKind,
+    FailureRecord,
+    OnError,
+    PoisonSite,
+    PoolBroken,
+    RetryPolicy,
+    ShardCrash,
+    ShardTimeout,
+)
 from repro.core.serialize import (
     checkpoint_header,
     experiment_from_record,
     experiment_record,
+    failure_from_record,
+    failure_record,
+    is_failure_record,
     read_checkpoint,
 )
 from repro.ops.im2col import ConvGeometry
@@ -136,8 +184,12 @@ def _merged_result(
     geometry: ConvGeometry | None,
     completed: dict[tuple[int, int], ExperimentResult],
     wall_seconds: float,
+    failures: dict[tuple[int, int], FailureRecord] | None = None,
 ) -> CampaignResult:
-    """Assemble a result with experiments in canonical site order."""
+    """Assemble a result with experiments (and failures) in canonical
+    site order. Quarantined sites are excluded from ``experiments``; any
+    other missing site is a dispatcher bug and raises ``KeyError``."""
+    failures = failures or {}
     return CampaignResult(
         workload=campaign.workload,
         fault_spec=campaign.fault_spec,
@@ -145,8 +197,13 @@ def _merged_result(
         golden=golden,
         plan=plan,
         geometry=geometry,
-        experiments=[completed[(row, col)] for row, col in campaign.sites],
+        experiments=[
+            completed[site] for site in campaign.sites if site not in failures
+        ],
         wall_seconds=wall_seconds,
+        failures=[
+            failures[site] for site in campaign.sites if site in failures
+        ],
     )
 
 
@@ -182,22 +239,411 @@ def _init_worker(
     golden: np.ndarray,
     plan: TilingPlan,
     geometry: ConvGeometry | None,
+    chaos: ChaosSpec | None = None,
 ) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (campaign, golden, plan, geometry)
+    _WORKER_STATE = (campaign, golden, plan, geometry, chaos)
 
 
 def _run_shard(shard: list[tuple[int, int]]) -> list[ExperimentResult]:
     assert _WORKER_STATE is not None, "worker initializer did not run"
-    campaign, golden, plan, geometry = _WORKER_STATE
-    return [
-        campaign.run_experiment(row, col, golden, plan, geometry)
-        for row, col in shard
-    ]
+    campaign, golden, plan, geometry, chaos = _WORKER_STATE
+    mangled: list[int] = []
+    results: list = []
+    for index, (row, col) in enumerate(shard):
+        if chaos is not None and chaos.fire((row, col)):
+            mangled.append(index)
+        results.append(
+            campaign.run_experiment(row, col, golden, plan, geometry)
+        )
+    for index in mangled:  # an injected "corrupt" action fired
+        results[index] = {"mangled": True}
+    return results
+
+
+def _validate_shard(results: object, sites: list[tuple[int, int]]) -> str | None:
+    """Reason the worker payload is unusable, or ``None`` when sound.
+
+    Workers are separate processes; a payload that survived pickling can
+    still be wrong (a worker bug, a chaos ``corrupt`` action), and an
+    unvalidated bad record would silently poison the canonical merge.
+    """
+    if not isinstance(results, list) or len(results) != len(sites):
+        return (
+            f"worker returned a malformed shard payload "
+            f"({type(results).__name__} of length "
+            f"{len(results) if isinstance(results, list) else 'n/a'}, "
+            f"expected {len(sites)} records)"
+        )
+    for record, (row, col) in zip(results, sites):
+        if not isinstance(record, ExperimentResult):
+            return (
+                f"record for MAC({row},{col}) is not an experiment result "
+                f"(got {type(record).__name__})"
+            )
+        if (record.site.row, record.site.col) != (row, col):
+            return (
+                f"record for MAC({row},{col}) carries mismatched site "
+                f"MAC({record.site.row},{record.site.col})"
+            )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Failure-aware dispatch
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _ShardTask:
+    """One schedulable unit: a site list plus its failure history."""
+
+    sites: list[tuple[int, int]]
+    attempts: int = 0
+    #: Monotonic instant before which the task must not be resubmitted
+    #: (exponential-backoff gate).
+    ready_at: float = 0.0
+    #: True while the task is a pool-collapse suspect: it must run alone
+    #: so a repeat collapse attributes exactly.
+    suspect: bool = False
+
+
+@dataclass
+class _InFlight:
+    """Bookkeeping for one submitted future."""
+
+    task: _ShardTask
+    deadline: float | None = None
+
+
+class _ShardDispatcher:
+    """The failure-aware scheduling loop of :class:`ParallelExecutor`.
+
+    Owns the process pool, the pending-task queue, and the in-flight
+    table for one ``execute()`` call; implements retry/backoff, the
+    watchdog, pool reconstitution, suspect isolation, bisection,
+    quarantine, and graceful shutdown. Scheduling is deterministic up to
+    OS timing: the queue is FIFO, backoff delays come from the
+    jitter-free :class:`RetryPolicy`, and nothing consults randomness.
+    """
+
+    #: Upper bound on one scheduler wait, so pending signals and expired
+    #: deadlines are noticed promptly even while futures are quiet.
+    TICK_SECONDS = 0.25
+
+    def __init__(
+        self,
+        executor: "ParallelExecutor",
+        campaign: Campaign,
+        golden: np.ndarray,
+        plan: TilingPlan,
+        geometry: ConvGeometry | None,
+        pending: list[tuple[int, int]],
+        stream: IO[str] | None,
+    ) -> None:
+        self.executor = executor
+        self.campaign = campaign
+        self.initargs = (campaign, golden, plan, geometry, executor.chaos)
+        self.stream = stream
+        shards = shard_sites(
+            pending, executor.jobs * executor.shards_per_worker
+        )
+        self.queue: deque[_ShardTask] = deque(
+            _ShardTask(sites=shard) for shard in shards
+        )
+        self.in_flight: dict[Future, _InFlight] = {}
+        self.completed: dict[tuple[int, int], ExperimentResult] = {}
+        self.failures: dict[tuple[int, int], FailureRecord] = {}
+        self.pool: ProcessPoolExecutor | None = None
+        self._signum: int | None = None
+
+    # -- pool lifecycle ------------------------------------------------
+    def _start_pool(self) -> None:
+        self.pool = ProcessPoolExecutor(
+            max_workers=self.executor.jobs,
+            initializer=_init_worker,
+            initargs=self.initargs,
+        )
+
+    def _stop_pool(self, kill: bool) -> None:
+        """Shut the pool down; ``kill`` forcibly terminates workers (the
+        only way to reclaim a hung one)."""
+        pool, self.pool = self.pool, None
+        if pool is None:
+            return
+        if kill:
+            for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    proc.kill()
+                except OSError:  # already gone
+                    continue
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True)
+
+    def _restart_pool(self) -> None:
+        self._stop_pool(kill=True)
+        self._start_pool()
+
+    # -- signal handling -----------------------------------------------
+    @contextmanager
+    def _signal_guard(self) -> Iterator[None]:
+        """Install SIGINT/SIGTERM capture for the scheduling loop.
+
+        Handlers only set a flag; the loop notices it within one tick and
+        runs the orderly shutdown path. Signal installation is only legal
+        on the main thread — elsewhere the guard is a no-op and default
+        delivery applies.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            yield
+            return
+
+        def _capture(signum: int, frame: object) -> None:
+            self._signum = signum
+
+        previous: dict[int, object] = {}
+        for signum in (_signal_module.SIGINT, _signal_module.SIGTERM):
+            previous[signum] = _signal_module.signal(signum, _capture)
+        try:
+            yield
+        finally:
+            for signum, handler in previous.items():
+                _signal_module.signal(signum, handler)
+
+    # -- scheduling loop -----------------------------------------------
+    def run(
+        self,
+    ) -> tuple[
+        dict[tuple[int, int], ExperimentResult],
+        dict[tuple[int, int], FailureRecord],
+    ]:
+        clean = False
+        with self._signal_guard():
+            self._start_pool()
+            try:
+                while self.queue or self.in_flight:
+                    if self._signum is not None:
+                        self._graceful_shutdown()
+                    self._submit_ready()
+                    self._reap(self._wait_tick())
+                    self._check_deadlines()
+                clean = True
+            finally:
+                self._stop_pool(kill=not clean)
+        return self.completed, self.failures
+
+    def _suspect_mode(self) -> bool:
+        return any(task.suspect for task in self.queue) or any(
+            entry.task.suspect for entry in self.in_flight.values()
+        )
+
+    def _submit_ready(self) -> None:
+        now = time.monotonic()
+        suspect_mode = self._suspect_mode()
+        # Suspects run strictly alone: if their shard breaks the pool
+        # again, the attribution is unambiguous.
+        limit = 1 if suspect_mode else self.executor.jobs
+        while self.queue and len(self.in_flight) < limit:
+            task = self._pop_ready(now, suspect_mode)
+            if task is None:
+                return
+            assert self.pool is not None
+            try:
+                future = self.pool.submit(_run_shard, task.sites)
+            except BrokenProcessPool:
+                # The pool broke but no reaped future told us yet; the
+                # task never ran, so it goes back unpenalized.
+                self.queue.appendleft(task)
+                self._on_pool_broken([])
+                return
+            timeout = self.executor.shard_timeout
+            self.in_flight[future] = _InFlight(
+                task=task,
+                deadline=None if timeout is None else now + timeout,
+            )
+
+    def _pop_ready(
+        self, now: float, suspect_mode: bool
+    ) -> _ShardTask | None:
+        for index, task in enumerate(self.queue):
+            if task.ready_at > now:
+                continue
+            if suspect_mode and not task.suspect:
+                continue
+            del self.queue[index]
+            return task
+        return None
+
+    def _wait_tick(self) -> set[Future]:
+        """Block until progress is possible; returns finished futures."""
+        now = time.monotonic()
+        tick = self.TICK_SECONDS
+        for entry in self.in_flight.values():
+            if entry.deadline is not None:
+                tick = min(tick, max(0.0, entry.deadline - now))
+        if not self.in_flight:
+            # Everything is backoff-gated; sleep until the nearest gate.
+            gates = [
+                task.ready_at - now
+                for task in self.queue
+                if task.ready_at > now
+            ]
+            time.sleep(min(tick, min(gates) if gates else 0.01))
+            return set()
+        done, _ = wait(
+            set(self.in_flight), timeout=tick, return_when=FIRST_COMPLETED
+        )
+        return done
+
+    # -- outcome handling ----------------------------------------------
+    def _reap(self, done: set[Future]) -> None:
+        broken: list[_ShardTask] = []
+        for future in done:
+            entry = self.in_flight.pop(future, None)
+            if entry is None:
+                continue
+            task = entry.task
+            try:
+                results = future.result()
+            except BrokenProcessPool:
+                broken.append(task)
+                continue
+            except Exception as exc:  # the worker raised for this shard
+                self._failure(task, FailureKind.CRASH, repr(exc))
+                continue
+            problem = _validate_shard(results, task.sites)
+            if problem is not None:
+                self._failure(task, FailureKind.CORRUPT_RESULT, problem)
+                continue
+            self._store(results)
+        if broken:
+            self._on_pool_broken(broken)
+
+    def _store(self, results: list[ExperimentResult]) -> None:
+        for experiment in results:
+            key = (experiment.site.row, experiment.site.col)
+            self.completed[key] = experiment
+        self.executor._record_batch(self.stream, results)
+
+    def _on_pool_broken(self, broken: list[_ShardTask]) -> None:
+        """A worker died hard and took the whole pool with it.
+
+        Every in-flight future fails together, so the culprit cannot be
+        attributed; all in-flight tasks become suspects and will be
+        retried one at a time against a fresh pool.
+        """
+        victims = broken + [e.task for e in self.in_flight.values()]
+        self.in_flight.clear()
+        self._restart_pool()
+        for task in victims:
+            task.suspect = True
+            self._failure(
+                task,
+                FailureKind.POOL_BROKEN,
+                "a worker process died abruptly; the pool was "
+                "reconstituted and this shard is a suspect",
+            )
+
+    def _check_deadlines(self) -> None:
+        if self.executor.shard_timeout is None or not self.in_flight:
+            return
+        now = time.monotonic()
+        expired = {
+            future
+            for future, entry in self.in_flight.items()
+            if entry.deadline is not None
+            and now >= entry.deadline
+            and not future.done()
+        }
+        if not expired:
+            return
+        # Harvest shards that finished before the axe falls: done futures
+        # keep their results even after the pool is killed.
+        self._reap({f for f in self.in_flight if f.done()})
+        timed_out: list[_ShardTask] = []
+        innocent: list[_ShardTask] = []
+        for future, entry in self.in_flight.items():
+            (timed_out if future in expired else innocent).append(entry.task)
+        self.in_flight.clear()
+        # A hung worker cannot be cancelled — only killed with its pool.
+        self._restart_pool()
+        for task in innocent:  # requeue in-flight bystanders, no penalty
+            self.queue.appendleft(task)
+        for task in timed_out:
+            self._failure(
+                task,
+                FailureKind.TIMEOUT,
+                f"shard exceeded the {self.executor.shard_timeout:g}s "
+                f"watchdog deadline",
+            )
+
+    def _failure(self, task: _ShardTask, kind: FailureKind, error: str) -> None:
+        """Apply the retry → abort/bisect → quarantine ladder."""
+        task.attempts += 1
+        policy = self.executor.retry
+        if task.attempts <= policy.max_retries:
+            task.ready_at = time.monotonic() + policy.delay(task.attempts)
+            self.queue.append(task)
+            return
+        if self.executor.on_error is OnError.ABORT:
+            raise self._abort_error(task, kind, error)
+        if len(task.sites) > 1:
+            # Bisect: the poison site is somewhere inside; each half gets
+            # a fresh retry budget and inherits suspect status.
+            mid = (len(task.sites) + 1) // 2
+            for half in (task.sites[mid:], task.sites[:mid]):
+                self.queue.appendleft(
+                    _ShardTask(sites=half, suspect=task.suspect)
+                )
+            return
+        row, col = task.sites[0]
+        failure = FailureRecord(
+            row=row, col=col, kind=kind, attempts=task.attempts, error=error
+        )
+        self.failures[(row, col)] = failure
+        self.executor._record_failure(self.stream, failure)
+
+    @staticmethod
+    def _abort_error(
+        task: _ShardTask, kind: FailureKind, error: str
+    ) -> CampaignExecutionError:
+        if len(task.sites) == 1:
+            row, col = task.sites[0]
+            return PoisonSite(
+                f"MAC({row},{col}) failed {task.attempts} attempt(s) "
+                f"[{kind}]: {error}"
+            )
+        exc_type = {
+            FailureKind.TIMEOUT: ShardTimeout,
+            FailureKind.POOL_BROKEN: PoolBroken,
+        }.get(kind, ShardCrash)
+        return exc_type(
+            f"shard of {len(task.sites)} sites failed "
+            f"{task.attempts} attempt(s) [{kind}]: {error}"
+        )
+
+    def _graceful_shutdown(self) -> None:
+        """SIGINT/SIGTERM arrived: drain, fsync, exit resumable."""
+        try:
+            self._reap({f for f in self.in_flight if f.done()})
+        except CampaignExecutionError:
+            pass  # shutting down regardless; the drain is best-effort
+        remaining = sum(len(task.sites) for task in self.queue) + sum(
+            len(entry.task.sites) for entry in self.in_flight.values()
+        )
+        assert self._signum is not None
+        raise CampaignInterrupted(
+            signum=self._signum,
+            checkpoint=self.executor.checkpoint,
+            completed=len(self.completed),
+            remaining=remaining,
+        )
 
 
 class ParallelExecutor:
-    """Sharded multi-process campaign execution with checkpoint/resume.
+    """Sharded multi-process campaign execution with checkpoint/resume
+    and failure tolerance.
 
     Parameters
     ----------
@@ -209,14 +655,36 @@ class ParallelExecutor:
         Path of an append-only JSONL stream to record completed
         experiments into (created/continued as needed). Records land in
         completion order; the merged result is canonical regardless.
+        Record batches are fsynced, so completed work survives power loss
+        as well as process death.
     resume:
         Path of an existing checkpoint to resume from: already-recorded
-        sites are restored instead of re-executed, and newly completed
-        sites are appended to the same file. Implies ``checkpoint=resume``
-        unless a different checkpoint path is given explicitly.
+        sites (including quarantined ones) are restored instead of
+        re-executed, and newly completed sites are appended to the same
+        file. Implies ``checkpoint=resume`` unless a different checkpoint
+        path is given explicitly.
     shards_per_worker:
         Sharding granularity; more shards per worker improves load balance
         and checkpoint resolution at slightly higher dispatch overhead.
+    shard_timeout:
+        Watchdog deadline in seconds for one shard attempt; ``None``
+        (default) disables the watchdog. On expiry the pool is killed and
+        reconstituted, the timed-out shard is penalized one attempt, and
+        innocent in-flight shards are requeued for free.
+    max_retries:
+        Convenience knob for ``RetryPolicy(max_retries=...)``; mutually
+        exclusive with ``retry``.
+    retry:
+        Full retry/backoff policy (see
+        :class:`~repro.core.resilience.RetryPolicy`).
+    on_error:
+        What to do once a failure exhausts its retry budget:
+        ``"quarantine"`` (default) bisects down to the poison site,
+        records it, and completes the rest of the campaign;
+        ``"abort"`` raises the typed taxonomy error.
+    chaos:
+        Test-only failure-injection schedule shipped to workers (see
+        :mod:`repro.core.chaos`). ``None`` in production.
     """
 
     def __init__(
@@ -225,6 +693,11 @@ class ParallelExecutor:
         checkpoint: str | Path | None = None,
         resume: str | Path | None = None,
         shards_per_worker: int = 4,
+        shard_timeout: float | None = None,
+        max_retries: int | None = None,
+        retry: RetryPolicy | None = None,
+        on_error: OnError | str = OnError.QUARANTINE,
+        chaos: ChaosSpec | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -232,6 +705,12 @@ class ParallelExecutor:
             raise ValueError(
                 f"shards_per_worker must be >= 1, got {shards_per_worker}"
             )
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be positive, got {shard_timeout}"
+            )
+        if retry is not None and max_retries is not None:
+            raise ValueError("pass either max_retries or retry, not both")
         self.jobs = jobs
         self.resume = Path(resume) if resume is not None else None
         if checkpoint is not None:
@@ -239,6 +718,15 @@ class ParallelExecutor:
         else:
             self.checkpoint = self.resume
         self.shards_per_worker = shards_per_worker
+        self.shard_timeout = shard_timeout
+        if retry is not None:
+            self.retry = retry
+        elif max_retries is not None:
+            self.retry = RetryPolicy(max_retries=max_retries)
+        else:
+            self.retry = RetryPolicy()
+        self.on_error = OnError(on_error) if isinstance(on_error, str) else on_error
+        self.chaos = chaos
 
     # ------------------------------------------------------------------
     def _restore(
@@ -247,10 +735,20 @@ class ParallelExecutor:
         golden: np.ndarray,
         plan: TilingPlan,
         geometry: ConvGeometry | None,
-    ) -> dict[tuple[int, int], ExperimentResult]:
-        """Experiments recovered from the resume checkpoint, by site."""
+    ) -> tuple[
+        dict[tuple[int, int], ExperimentResult],
+        dict[tuple[int, int], FailureRecord],
+    ]:
+        """Experiments and quarantines recovered from the resume file.
+
+        Quarantine records are sticky: a resumed campaign does not
+        re-execute a site a previous run proved poisonous. Duplicate
+        records for one site keep the last occurrence — loudly, with a
+        :class:`RuntimeWarning`, because duplicates mean a previous
+        writer double-recorded and the file deserves scrutiny.
+        """
         if self.resume is None:
-            return {}
+            return {}, {}
         header, records = read_checkpoint(self.resume)
         expected = checkpoint_header(campaign)
         mismatched = [
@@ -265,67 +763,143 @@ class ParallelExecutor:
             )
         valid_sites = set(campaign.sites)
         restored: dict[tuple[int, int], ExperimentResult] = {}
+        failures: dict[tuple[int, int], FailureRecord] = {}
         for record in records:
+            if is_failure_record(record):
+                failure = failure_from_record(record)
+                key = failure.site
+                if key not in valid_sites:
+                    continue
+                self._warn_duplicate(key, restored, failures)
+                restored.pop(key, None)
+                failures[key] = failure
+                continue
             experiment = experiment_from_record(
                 record, shape=golden.shape, plan=plan, geometry=geometry
             )
             if not campaign.keep_patterns:
                 experiment = replace(experiment, pattern=None)
             key = (experiment.site.row, experiment.site.col)
-            if key in valid_sites:
-                restored[key] = experiment
-        return restored
+            if key not in valid_sites:
+                continue
+            self._warn_duplicate(key, restored, failures)
+            failures.pop(key, None)
+            restored[key] = experiment
+        return restored, failures
+
+    def _warn_duplicate(
+        self, key: tuple[int, int], restored: dict, failures: dict
+    ) -> None:
+        if key in restored or key in failures:
+            warnings.warn(
+                f"duplicate checkpoint record for MAC({key[0]},{key[1]}) "
+                f"in {self.resume}; keeping the last occurrence",
+                RuntimeWarning,
+                stacklevel=4,
+            )
 
     def _open_checkpoint(self, campaign: Campaign) -> IO[str] | None:
-        """Open the checkpoint stream for appending, writing the header
-        when the file is new or empty."""
+        """Open the checkpoint stream for appending.
+
+        A new/empty file gets the header line. An existing file must
+        start with a complete, recognizable header line — a torn header
+        (partial first line, the artefact of a crash during file
+        creation) is refused with :class:`CheckpointCorrupt` instead of
+        silently continuing a headerless stream. A torn *trailing* line
+        is healed by terminating it, so appended records start on a fresh
+        line (the torn record itself is skipped, with a warning, by
+        :func:`~repro.core.serialize.read_checkpoint`).
+        """
         if self.checkpoint is None:
             return None
-        self.checkpoint.parent.mkdir(parents=True, exist_ok=True)
-        stream = self.checkpoint.open("a")
-        if self.checkpoint.stat().st_size == 0:
+        path = self.checkpoint
+        path.parent.mkdir(parents=True, exist_ok=True)
+        size = path.stat().st_size if path.exists() else 0
+        torn_tail = False
+        if size > 0:
+            with path.open("rb") as probe:
+                first = probe.readline()
+                header: object = None
+                if first.endswith(b"\n"):
+                    try:
+                        header = json.loads(first.decode("utf-8"))
+                    except (UnicodeDecodeError, json.JSONDecodeError):
+                        header = None
+                if (
+                    not isinstance(header, dict)
+                    or header.get("kind") != "campaign-checkpoint"
+                ):
+                    raise CheckpointCorrupt(
+                        f"checkpoint {path} has a torn or unrecognizable "
+                        f"header line; refusing to append to it — move the "
+                        f"file aside (or delete it) and rerun"
+                    )
+                probe.seek(-1, os.SEEK_END)
+                torn_tail = probe.read(1) != b"\n"
+        stream = path.open("a")
+        if size == 0:
             stream.write(json.dumps(checkpoint_header(campaign)) + "\n")
-            stream.flush()
+            self._sync(stream)
+        elif torn_tail:
+            stream.write("\n")
+            self._sync(stream)
         return stream
 
+    # -- durable record appends ----------------------------------------
     @staticmethod
-    def _record(
-        stream: IO[str] | None, experiment: ExperimentResult
+    def _sync(stream: IO[str]) -> None:
+        """Flush through the OS to the disk: checkpoint durability is the
+        whole point, so completed work must survive power loss too."""
+        stream.flush()
+        os.fsync(stream.fileno())
+
+    def _record_batch(
+        self, stream: IO[str] | None, experiments: list[ExperimentResult]
+    ) -> None:
+        if stream is None or not experiments:
+            return
+        for experiment in experiments:
+            stream.write(json.dumps(experiment_record(experiment)) + "\n")
+        self._sync(stream)
+
+    def _record_failure(
+        self, stream: IO[str] | None, failure: FailureRecord
     ) -> None:
         if stream is None:
             return
-        stream.write(json.dumps(experiment_record(experiment)) + "\n")
-        stream.flush()
+        stream.write(json.dumps(failure_record(failure)) + "\n")
+        self._sync(stream)
+
+    def _close_checkpoint(self, stream: IO[str]) -> None:
+        try:
+            self._sync(stream)
+        finally:
+            stream.close()
 
     # ------------------------------------------------------------------
     def execute(self, campaign: Campaign) -> CampaignResult:
         start = time.perf_counter()
         golden, plan, geometry = GOLDEN_CACHE.golden_run(campaign)
-        completed = self._restore(campaign, golden, plan, geometry)
-        pending = [site for site in campaign.sites if site not in completed]
+        completed, failures = self._restore(campaign, golden, plan, geometry)
+        pending = [
+            site
+            for site in campaign.sites
+            if site not in completed and site not in failures
+        ]
         stream = self._open_checkpoint(campaign)
         try:
             if pending:
-                shards = shard_sites(pending, self.jobs * self.shards_per_worker)
-                with ProcessPoolExecutor(
-                    max_workers=self.jobs,
-                    initializer=_init_worker,
-                    initargs=(campaign, golden, plan, geometry),
-                ) as pool:
-                    futures: set[Future] = {
-                        pool.submit(_run_shard, shard) for shard in shards
-                    }
-                    while futures:
-                        done, futures = wait(futures, return_when=FIRST_COMPLETED)
-                        for future in done:
-                            for experiment in future.result():
-                                key = (experiment.site.row, experiment.site.col)
-                                completed[key] = experiment
-                                self._record(stream, experiment)
+                dispatcher = _ShardDispatcher(
+                    self, campaign, golden, plan, geometry, pending, stream
+                )
+                ran, quarantined = dispatcher.run()
+                completed.update(ran)
+                failures.update(quarantined)
         finally:
             if stream is not None:
-                stream.close()
+                self._close_checkpoint(stream)
         return _merged_result(
             campaign, golden, plan, geometry, completed,
             time.perf_counter() - start,
+            failures=failures,
         )

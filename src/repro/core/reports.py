@@ -83,6 +83,16 @@ def campaign_summary(result: CampaignResult, name: str | None = None) -> str:
         f"  mesh        : {result.mesh.rows}x{result.mesh.cols} "
         f"({result.mesh.input_dtype})",
         f"  experiments : {len(result.experiments)}",
+    ]
+    if result.failures:
+        quarantined = ", ".join(
+            f"({row},{col})" for row, col in result.quarantined_sites()
+        )
+        lines.append(
+            f"  quarantined : {len(result.failures)} site(s) "
+            f"[{quarantined}] — reductions cover the sites that ran"
+        )
+    lines += [
         f"  SDC rate    : {100.0 * result.sdc_rate():.1f}%",
         f"  mean corrupted cells: {result.mean_corrupted_cells():.2f}",
         f"  dominant class      : {result.dominant_class()}",

@@ -1,0 +1,222 @@
+"""Failure taxonomy and retry policy of the resilient campaign runtime.
+
+An exhaustive SSF campaign at production scale runs for hours across many
+worker processes; worker crashes, hung shards, and poisoned fault sites
+are routine there, not exceptional. This module is the vocabulary the
+executor (:mod:`repro.core.executor`) uses to survive them:
+
+* a **typed failure taxonomy** — :class:`ShardCrash`,
+  :class:`ShardTimeout`, :class:`PoisonSite`, :class:`PoolBroken`,
+  :class:`CheckpointCorrupt` — so callers can react per failure class
+  instead of pattern-matching exception strings;
+* :class:`RetryPolicy` — bounded retry with *deterministic* exponential
+  backoff. Deliberately jitter-free: two runs of the same campaign under
+  the same failures schedule retries identically, which keeps failure
+  handling as replayable as the experiments themselves;
+* :class:`FailureRecord` — the structured quarantine record a campaign
+  carries for every fault site it had to give up on. Records survive in
+  the checkpoint stream and in :attr:`CampaignResult.failures`, so a
+  degraded campaign is still a canonical, resumable artefact;
+* :class:`CampaignInterrupted` — the graceful-shutdown signal
+  (SIGINT/SIGTERM) outcome: the checkpoint is drained and fsynced before
+  this is raised, so the campaign is resumable exactly where it stopped.
+
+The executor's recovery protocol (suspect isolation after a pool break,
+shard bisection to isolate a poison site) is documented in
+``docs/resilience.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+import signal as _signal
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "CampaignExecutionError",
+    "ShardCrash",
+    "ShardTimeout",
+    "PoisonSite",
+    "PoolBroken",
+    "CheckpointCorrupt",
+    "CampaignInterrupted",
+    "FailureKind",
+    "OnError",
+    "RetryPolicy",
+    "FailureRecord",
+]
+
+
+class CampaignExecutionError(RuntimeError):
+    """Base class of every campaign-runtime failure."""
+
+
+class ShardCrash(CampaignExecutionError):
+    """A worker raised (or returned a corrupt payload) for a shard and the
+    retry budget is exhausted. Raised only under ``on_error="abort"``."""
+
+
+class ShardTimeout(CampaignExecutionError):
+    """A shard exceeded its watchdog deadline and the retry budget is
+    exhausted. Raised only under ``on_error="abort"``."""
+
+
+class PoisonSite(CampaignExecutionError):
+    """A failure was isolated down to a single fault site.
+
+    Under ``on_error="abort"`` this aborts the campaign naming the exact
+    site; under ``on_error="quarantine"`` the site becomes a
+    :class:`FailureRecord` instead and the campaign degrades gracefully.
+    """
+
+
+class PoolBroken(CampaignExecutionError):
+    """The process pool collapsed (a worker died hard) and could not be
+    attributed or retried within budget. Raised only under
+    ``on_error="abort"``; otherwise the executor reconstitutes the pool
+    and isolates the culprit by solo retries."""
+
+
+class CheckpointCorrupt(CampaignExecutionError, ValueError):
+    """A checkpoint file exists but cannot be trusted (torn or alien
+    header). Also a :class:`ValueError` so existing checkpoint-validation
+    handlers keep working."""
+
+
+class CampaignInterrupted(KeyboardInterrupt):
+    """Graceful shutdown: SIGINT/SIGTERM arrived mid-campaign.
+
+    By the time this propagates, every already-finished shard has been
+    recorded and the checkpoint stream fsynced and closed — rerunning
+    with ``resume=`` picks the campaign up at the exact remainder.
+
+    A :class:`KeyboardInterrupt` subclass so default interpreter and
+    test-runner handling (no traceback swallowing into ``except
+    Exception``) applies.
+    """
+
+    def __init__(
+        self,
+        signum: int,
+        checkpoint: Path | None,
+        completed: int,
+        remaining: int,
+    ) -> None:
+        try:
+            name = _signal.Signals(signum).name
+        except ValueError:
+            name = str(signum)
+        super().__init__(
+            f"campaign interrupted by {name} with {completed} site(s) "
+            f"completed and {remaining} remaining"
+        )
+        self.signum = signum
+        self.checkpoint = checkpoint
+        self.completed = completed
+        self.remaining = remaining
+
+
+class FailureKind(enum.Enum):
+    """What kind of failure exhausted a shard's retry budget."""
+
+    #: The worker raised an exception while running the shard.
+    CRASH = "crash"
+    #: The shard exceeded the watchdog deadline (hung worker).
+    TIMEOUT = "timeout"
+    #: The whole process pool collapsed while the shard was in flight.
+    POOL_BROKEN = "pool-broken"
+    #: The worker returned, but its payload failed validation.
+    CORRUPT_RESULT = "corrupt-result"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class OnError(enum.Enum):
+    """Campaign-level policy once a failure exhausts its retry budget."""
+
+    #: Raise the taxonomy exception; the campaign stops (fail-stop).
+    ABORT = "abort"
+    #: Bisect to the poison site, record it, and keep going (degrade).
+    QUARANTINE = "quarantine"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with deterministic exponential backoff.
+
+    ``delay(attempt)`` is a pure function of the attempt number — no
+    jitter. Campaigns are replayable end to end, and that includes their
+    failure handling: the same chaos schedule produces the same retry
+    timeline, which the chaos tests pin.
+
+    Parameters
+    ----------
+    max_retries:
+        Retries *per shard task* after the first attempt. ``0`` means one
+        attempt, no retry.
+    backoff_base:
+        Delay before the first retry, in seconds.
+    backoff_factor:
+        Multiplier applied per further retry.
+    backoff_cap:
+        Upper bound on any single delay, in seconds.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One quarantined fault site: the structured give-up record.
+
+    Stored verbatim in the checkpoint stream (see
+    :func:`repro.core.serialize.failure_record`) and carried on
+    :attr:`CampaignResult.failures`, so partial results stay canonical
+    and a resume never silently re-poisons itself.
+    """
+
+    row: int
+    col: int
+    kind: FailureKind
+    attempts: int
+    error: str
+
+    @property
+    def site(self) -> tuple[int, int]:
+        """The quarantined MAC coordinate."""
+        return (self.row, self.col)
+
+    def describe(self) -> str:
+        return (
+            f"MAC({self.row},{self.col}) quarantined after "
+            f"{self.attempts} attempt(s): {self.kind} — {self.error}"
+        )

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.campaign import Campaign, CampaignResult, ExperimentResult
 from repro.core.classifier import Classification, PatternClass
 from repro.core.fault_patterns import FaultPattern
+from repro.core.resilience import FailureKind, FailureRecord
 from repro.faults.sites import FaultSite
 from repro.ops.im2col import ConvGeometry
 from repro.ops.tiling import TilingPlan
@@ -41,6 +42,9 @@ __all__ = [
     "checkpoint_header",
     "experiment_record",
     "experiment_from_record",
+    "failure_record",
+    "failure_from_record",
+    "is_failure_record",
     "read_checkpoint",
 ]
 
@@ -69,6 +73,7 @@ def campaign_to_dict(result: CampaignResult) -> dict[str, Any]:
         "tile_shape": [result.plan.tile_m, result.plan.tile_k, result.plan.tile_n],
         "output_shape": list(result.golden.shape),
         "wall_seconds": result.wall_seconds,
+        "failures": [failure_record(f) for f in result.failures],
         "experiments": [
             {
                 "site": {
@@ -282,6 +287,43 @@ def experiment_from_record(
         max_abs_deviation=record["max_abs_deviation"],
         pattern=pattern,
     )
+
+
+def failure_record(failure: FailureRecord) -> dict[str, Any]:
+    """Serialise a quarantined site as a JSON-compatible checkpoint line.
+
+    Distinguished from experiment records by ``"kind": "quarantine"``
+    (experiment records have no ``kind`` key); it still carries ``site``
+    so checkpoint readers treat it as a first-class record, and a resume
+    restores the quarantine instead of re-running the poison site.
+    """
+    return {
+        "kind": "quarantine",
+        "site": {"row": failure.row, "col": failure.col},
+        "failure": {
+            "kind": failure.kind.value,
+            "attempts": failure.attempts,
+            "error": failure.error,
+        },
+    }
+
+
+def failure_from_record(record: dict[str, Any]) -> FailureRecord:
+    """Rebuild a :class:`FailureRecord` from a quarantine checkpoint line."""
+    site = record["site"]
+    evidence = record["failure"]
+    return FailureRecord(
+        row=site["row"],
+        col=site["col"],
+        kind=FailureKind(evidence["kind"]),
+        attempts=evidence["attempts"],
+        error=evidence["error"],
+    )
+
+
+def is_failure_record(record: dict[str, Any]) -> bool:
+    """True when a checkpoint record is a quarantine (failure) line."""
+    return record.get("kind") == "quarantine"
 
 
 def read_checkpoint(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]]]:

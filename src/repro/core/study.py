@@ -156,6 +156,9 @@ def run_paper_study(
     fill: FillKind = FillKind.ONES,
     engine: str = "functional",
     jobs: int = 1,
+    shard_timeout: float | None = None,
+    max_retries: int | None = None,
+    on_error: str = "quarantine",
 ) -> StudyReport:
     """Run every Table I configuration and assemble the report.
 
@@ -174,8 +177,21 @@ def run_paper_study(
         reference path, larger values shard each campaign's site sweep
         over a process pool (the report is identical either way — see
         :mod:`repro.core.executor`).
+    shard_timeout, max_retries, on_error:
+        Failure policy forwarded to the parallel executor (ignored when
+        ``jobs == 1``); see :mod:`repro.core.resilience` and
+        ``docs/resilience.md``.
     """
-    executor = ParallelExecutor(jobs=jobs) if jobs > 1 else None
+    executor = (
+        ParallelExecutor(
+            jobs=jobs,
+            shard_timeout=shard_timeout,
+            max_retries=max_retries,
+            on_error=on_error,
+        )
+        if jobs > 1
+        else None
+    )
     mesh = mesh or MeshConfig.paper()
     report = StudyReport(mesh=mesh, fault_spec=fault_spec)
     seen: set[str] = set()

@@ -11,9 +11,12 @@ Import surface for callers that only care about scaling out campaigns
     )
 
 See ``docs/parallel.md`` for the execution model, the golden-cache key,
-the checkpoint stream format, and the determinism guarantee.
+the checkpoint stream format, and the determinism guarantee, and
+``docs/resilience.md`` for the failure taxonomy, retry/backoff policy,
+and quarantine protocol.
 """
 
+from repro.core.chaos import ChaosAction, ChaosError, ChaosSpec
 from repro.core.executor import (
     GOLDEN_CACHE,
     CampaignExecutor,
@@ -22,10 +25,26 @@ from repro.core.executor import (
     SerialExecutor,
     shard_sites,
 )
+from repro.core.resilience import (
+    CampaignExecutionError,
+    CampaignInterrupted,
+    CheckpointCorrupt,
+    FailureKind,
+    FailureRecord,
+    OnError,
+    PoisonSite,
+    PoolBroken,
+    RetryPolicy,
+    ShardCrash,
+    ShardTimeout,
+)
 from repro.core.serialize import (
     checkpoint_header,
     experiment_from_record,
     experiment_record,
+    failure_from_record,
+    failure_record,
+    is_failure_record,
     read_checkpoint,
 )
 
@@ -39,5 +58,22 @@ __all__ = [
     "checkpoint_header",
     "experiment_record",
     "experiment_from_record",
+    "failure_record",
+    "failure_from_record",
+    "is_failure_record",
     "read_checkpoint",
+    "CampaignExecutionError",
+    "ShardCrash",
+    "ShardTimeout",
+    "PoisonSite",
+    "PoolBroken",
+    "CheckpointCorrupt",
+    "CampaignInterrupted",
+    "FailureKind",
+    "OnError",
+    "RetryPolicy",
+    "FailureRecord",
+    "ChaosSpec",
+    "ChaosAction",
+    "ChaosError",
 ]

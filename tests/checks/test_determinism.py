@@ -318,6 +318,108 @@ class TestWorkerUnpicklable:
         assert _findings(tmp_path, "worker-unpicklable") == []
 
 
+class TestWorkerExceptionSwallow:
+    def test_bare_except_pass_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.core.swallow",
+            """
+            def _run_shard(shard):
+                try:
+                    return compute(shard)
+                except:
+                    pass
+
+            def compute(shard):
+                return shard
+            """,
+        )
+        findings = _findings(tmp_path, "worker-exception-swallow")
+        assert len(findings) == 1
+        assert "bare 'except:'" in findings[0].message
+        assert "let it propagate" in findings[0].message
+
+    def test_broad_except_on_called_path_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.core.swallow",
+            """
+            def _run_shard(shard):
+                return compute(shard)
+
+            def compute(shard):
+                for item in shard:
+                    try:
+                        item.work()
+                    except (ValueError, Exception):
+                        continue
+            """,
+        )
+        findings = _findings(tmp_path, "worker-exception-swallow")
+        assert len(findings) == 1
+        assert "'except Exception:'" in findings[0].message
+        assert "compute" in findings[0].message
+
+    def test_handler_that_reraises_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.core.swallow",
+            """
+            def _run_shard(shard):
+                try:
+                    return compute(shard)
+                except Exception:
+                    raise RuntimeError("shard failed")
+
+            def compute(shard):
+                return shard
+            """,
+        )
+        assert _findings(tmp_path, "worker-exception-swallow") == []
+
+    def test_specific_exception_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.core.swallow",
+            """
+            def _run_shard(shard):
+                try:
+                    return compute(shard)
+                except OSError:
+                    pass
+
+            def compute(shard):
+                return shard
+            """,
+        )
+        assert _findings(tmp_path, "worker-exception-swallow") == []
+
+    def test_parent_side_code_is_exempt(self, write_module, tmp_path):
+        write_module(
+            "repro.core.swallow",
+            """
+            def dispatcher_only(pool):
+                try:
+                    pool.poke()
+                except Exception:
+                    pass
+            """,
+        )
+        assert _findings(tmp_path, "worker-exception-swallow") == []
+
+    def test_suppressed(self, write_module, tmp_path):
+        write_module(
+            "repro.core.swallow",
+            """
+            def _run_shard(shard):
+                try:
+                    return compute(shard)
+                except Exception:  # repro: ignore[worker-exception-swallow]
+                    pass
+
+            def compute(shard):
+                return shard
+            """,
+        )
+        assert _findings(tmp_path, "worker-exception-swallow") == []
+
+
 class TestChainRendering:
     def test_deep_chain_is_elided(self, write_module, tmp_path):
         body = ["import time", "", "def _run_shard(x):", "    f1(x)", ""]

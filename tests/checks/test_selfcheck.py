@@ -71,6 +71,7 @@ def test_full_battery_ran():
         "worker-wall-clock",
         "worker-entropy",
         "worker-unpicklable",
+        "worker-exception-swallow",
         "interval-escape",
         "mask-closure",
     }

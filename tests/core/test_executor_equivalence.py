@@ -118,6 +118,10 @@ class TestShardSites:
         shards = shard_sites(self.SITES[:3], 16)
         assert shards == [[(0, 0)], [(0, 1)], [(0, 2)]]
 
+    def test_single_site(self):
+        assert shard_sites([(2, 3)], 1) == [[(2, 3)]]
+        assert shard_sites([(2, 3)], 8) == [[(2, 3)]]
+
     def test_empty_and_invalid(self):
         assert shard_sites([], 4) == []
         with pytest.raises(ValueError):
@@ -146,6 +150,19 @@ class TestGoldenCache:
             Campaign(MESH, GemmWorkload.square(4, Dataflow.WEIGHT_STATIONARY, FillKind.RAMP))
         )
         assert len(GOLDEN_CACHE) == before + 1
+
+    def test_reused_across_distinct_campaigns_with_identical_keys(self):
+        # Two separate Campaign objects, same (workload, mesh, engine) key:
+        # the second campaign must hit the first's cache entry, not add one.
+        first = Campaign(MESH, GemmWorkload.square(4, Dataflow.INPUT_STATIONARY))
+        second = Campaign(MESH, GemmWorkload.square(4, Dataflow.INPUT_STATIONARY))
+        assert first is not second
+        golden_a, plan_a, _ = GOLDEN_CACHE.golden_run(first)
+        before = len(GOLDEN_CACHE)
+        golden_b, plan_b, _ = GOLDEN_CACHE.golden_run(second)
+        assert len(GOLDEN_CACHE) == before
+        assert golden_a is golden_b  # shared array, not an equal recompute
+        assert plan_a is plan_b
 
 
 #: Pinned digests: any drift in operand generation (fill policies, the

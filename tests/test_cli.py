@@ -45,6 +45,37 @@ class TestParser:
         assert excinfo.value.code == 2
         assert "--jobs" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("command", ["campaign", "study"])
+    def test_resilience_flags_parse_with_defaults(self, command):
+        args = build_parser().parse_args([command])
+        assert args.shard_timeout is None
+        assert args.max_retries is None
+        assert args.on_error == "quarantine"
+        args = build_parser().parse_args(
+            [command, "--shard-timeout", "30", "--max-retries", "0",
+             "--on-error", "abort"]
+        )
+        assert args.shard_timeout == 30.0
+        assert args.max_retries == 0
+        assert args.on_error == "abort"
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["campaign", "--shard-timeout", "0"],
+            ["campaign", "--shard-timeout", "-1.5"],
+            ["campaign", "--shard-timeout", "soon"],
+            ["campaign", "--max-retries", "-1"],
+            ["campaign", "--max-retries", "many"],
+            ["campaign", "--on-error", "explode"],
+        ],
+    )
+    def test_bad_resilience_values_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        assert argv[1] in capsys.readouterr().err
+
 
 class TestCampaignCommand:
     def test_gemm_campaign_summary(self, capsys):
@@ -114,6 +145,29 @@ class TestCampaignCommand:
         assert main(argv + ["-j", "2", "--resume", str(path)]) == 0
         assert capsys.readouterr().out == full_out
         assert len(path.read_text().splitlines()) == 1 + 16
+
+    def test_torn_checkpoint_header_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "campaign.jsonl"
+        path.write_text('{"kind": "campaign-ch')  # crashed mid-header
+        code = main(
+            ["campaign", "--rows", "4", "--cols", "4", "--size", "4",
+             "-j", "2", "--checkpoint", str(path)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "header" in err
+        assert str(path) in err
+
+    def test_resilience_knobs_reach_the_executor(self, capsys):
+        """The flags don't change a healthy campaign's output, only its
+        failure policy; a smoke run proves they thread through."""
+        code = main(
+            ["campaign", "--rows", "4", "--cols", "4", "--size", "4",
+             "-j", "2", "--shard-timeout", "120", "--max-retries", "1",
+             "--on-error", "abort"]
+        )
+        assert code == 0
+        assert "experiments : 16" in capsys.readouterr().out
 
     def test_resume_missing_file_is_an_error(self, tmp_path, capsys):
         code = main(
