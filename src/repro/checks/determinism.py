@@ -22,6 +22,17 @@ per worker before any task runs, so initializers are exempt from
 ``worker-global-write`` (but not from the clock/entropy/ordering rules —
 an initializer that reads the clock is just as nondeterministic).
 
+The second sanctioned exception is *telemetry*: the observability
+subsystem (:data:`SANCTIONED_TELEMETRY`, i.e. ``repro.obs``) exists to
+measure how long worker code took, which requires clock reads on worker
+paths by design. Its modules are allowlisted for ``worker-wall-clock``
+and ``worker-entropy`` only — every other rule in the battery still
+covers them, and clock reads in results-path modules still fire. The
+safety argument is the bit-equivalence contract: observability never
+feeds a value back into an experiment result (pinned by
+``tests/core/test_obs_equivalence.py``), so a timestamp there cannot
+make results depend on *when* they were computed.
+
 Rules
 -----
 ``worker-global-write``
@@ -71,6 +82,8 @@ __all__ = [
     "CONVENTIONAL_ENTRIES",
     "WALL_CLOCK_CALLS",
     "ENTROPY_CALLS",
+    "SANCTIONED_TELEMETRY",
+    "is_sanctioned_telemetry",
     "WorkerEntry",
     "discover_worker_entries",
     "WorkerGlobalWriteRule",
@@ -107,6 +120,23 @@ WALL_CLOCK_CALLS = frozenset(
 
 #: Dotted external callables that draw OS entropy.
 ENTROPY_CALLS = frozenset({"os.urandom", "uuid.uuid1", "uuid.uuid4"})
+
+#: Module prefixes whose clock/entropy reads are sanctioned telemetry.
+#: The observability subsystem measures *how long* worker code took; it
+#: never feeds a value into *what* the results are (the bit-equivalence
+#: contract, pinned by ``tests/core/test_obs_equivalence.py``), so its
+#: clock reads cannot make results time-dependent. The allowlist scopes
+#: ``worker-wall-clock`` / ``worker-entropy`` only — all other
+#: determinism rules still apply to these modules in full.
+SANCTIONED_TELEMETRY: tuple[str, ...] = ("repro.obs",)
+
+
+def is_sanctioned_telemetry(module_name: str) -> bool:
+    """Whether ``module_name`` falls under the telemetry allowlist."""
+    return any(
+        module_name == prefix or module_name.startswith(prefix + ".")
+        for prefix in SANCTIONED_TELEMETRY
+    )
 
 
 @dataclass(frozen=True)
@@ -501,12 +531,22 @@ class MergeUnorderedIterRule(ProjectRule):
 
 
 class _ExternalCallRule(_WorkerRule):
-    """Shared shape: flag selected external calls on worker paths."""
+    """Shared shape: flag selected external calls on worker paths.
+
+    Functions living in a :data:`SANCTIONED_TELEMETRY` module are skipped:
+    the clock reads there are the observability subsystem doing its job
+    (see the module docstring). The skip is keyed on the *defining*
+    module, so results-path code calling the clock directly still fires
+    even when observability is also in the worker closure.
+    """
 
     def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
         chains, _ = self._closure(graph)
         for qualname in sorted(chains):
             info = graph.functions[qualname]
+            mod_name = info.module.name or info.module.path.stem
+            if is_sanctioned_telemetry(mod_name):
+                continue
             note = _chain_note(chains[qualname])
             for site in info.calls:
                 if site.external is None:

@@ -32,6 +32,7 @@ Examples
     repro-fi campaign --op conv --size 16 --kernel 3,3,3,8 --dict faults.json
     repro-fi campaign --size 16 -j 4 --checkpoint campaign.jsonl
     repro-fi campaign --size 16 -j 4 --resume campaign.jsonl
+    repro-fi campaign --size 16 -j 4 --trace trace.json --metrics metrics.prom --progress
     repro-fi predict --m 112 --k 112 --n 112 --dataflow WS --row 5 --col 9
     repro-fi lint src/repro --format json
 """
@@ -51,12 +52,20 @@ from repro.core import (
     diagonal_sites,
     predict_pattern,
 )
-from repro.core.executor import ParallelExecutor
+from repro.core.executor import ParallelExecutor, SerialExecutor
 from repro.core.reports import campaign_summary, format_table
 from repro.core.resilience import CampaignExecutionError, CampaignInterrupted
 from repro.core.sampling import StateSpace, random_sites
-from repro.core.serialize import save_campaign, save_fault_dictionary
+from repro.core.serialize import save_campaign, save_fault_dictionary, save_metrics
 from repro.faults.sites import MAC_SIGNALS, PAPER_FAULT_SIGNAL, FaultSite
+from repro.obs import (
+    NULL_RECORDER,
+    MetricsRegistry,
+    Observability,
+    ProgressReporter,
+    TraceRecorder,
+    write_chrome_trace,
+)
 from repro.ops.tiling import plan_gemm_tiling
 from repro.systolic import Dataflow, MeshConfig
 
@@ -137,6 +146,65 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability knobs (docs/observability.md)."""
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record hierarchical spans (parent and workers) and write "
+        "them as Chrome trace-event JSON, loadable in Perfetto",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="record run metrics (sites/s, cache hits, retries, shard "
+        "latency) and write them here: Prometheus text exposition, or a "
+        "JSON snapshot when PATH ends in .json",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live progress line on stderr "
+        "(done/total, sites/s, ETA, retry/quarantine counts)",
+    )
+
+
+def _build_obs(args: argparse.Namespace) -> Observability | None:
+    """The observability bundle the flags ask for, or ``None`` for none.
+
+    Any flag arms the metrics registry too — the telemetry summary in the
+    campaign output is metrics-derived, and it should appear whenever the
+    user opted into observation.
+    """
+    if not (args.trace or args.metrics or args.progress):
+        return None
+    return Observability(
+        recorder=TraceRecorder() if args.trace else NULL_RECORDER,
+        metrics=MetricsRegistry(),
+        progress=ProgressReporter() if args.progress else None,
+    )
+
+
+def _write_obs_artifacts(
+    args: argparse.Namespace, obs: Observability | None
+) -> None:
+    """Write the trace / metrics files the flags requested."""
+    if obs is None:
+        return
+    if args.trace:
+        path = write_chrome_trace(obs.recorder.events(), args.trace)
+        print(f"trace written to {path}")
+    if args.metrics:
+        if args.metrics.endswith(".json"):
+            path = save_metrics(obs.metrics, args.metrics)
+        else:
+            from pathlib import Path
+
+            path = Path(args.metrics)
+            path.write_text(obs.metrics.render_prometheus())
+        print(f"metrics written to {path}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing and docs generation)."""
     parser = argparse.ArgumentParser(
@@ -197,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(completed sites are not re-executed; new ones are appended)",
     )
     _add_resilience_flags(campaign)
+    _add_obs_flags(campaign)
 
     predict = sub.add_parser(
         "predict", help="analytically predict one fault pattern"
@@ -226,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--markdown", help="write the report as markdown here")
     _add_jobs_flag(study)
     _add_resilience_flags(study)
+    _add_obs_flags(study)
 
     zoo = sub.add_parser(
         "zoo", help="per-layer vulnerability of a known network's shapes"
@@ -315,6 +385,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         sites = random_sites(mesh, args.num_random)
     spec = FaultSpec(signal=args.signal, bit=args.bit, stuck_value=args.stuck)
+    obs = _build_obs(args)
     executor = None
     if args.jobs > 1 or args.checkpoint or args.resume:
         executor = ParallelExecutor(
@@ -324,7 +395,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             shard_timeout=args.shard_timeout,
             max_retries=args.max_retries,
             on_error=args.on_error,
+            obs=obs,
         )
+    elif obs is not None:
+        executor = SerialExecutor(obs=obs)
     try:
         result = Campaign(mesh, workload, fault_spec=spec, sites=sites).run(
             executor=executor
@@ -344,6 +418,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 3
     print(campaign_summary(result))
+    _write_obs_artifacts(args, obs)
     if args.json:
         path = save_campaign(result, args.json)
         print(f"\nresults written to {path}")
@@ -411,6 +486,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
     mesh = MeshConfig(rows=args.rows, cols=args.cols)
     sites = diagonal_sites(mesh) if args.fast else None
+    obs = _build_obs(args)
     report = run_paper_study(
         mesh=mesh,
         sites=sites,
@@ -419,8 +495,10 @@ def _cmd_study(args: argparse.Namespace) -> int:
         shard_timeout=args.shard_timeout,
         max_retries=args.max_retries,
         on_error=args.on_error,
+        obs=obs,
     )
     print(report.to_text())
+    _write_obs_artifacts(args, obs)
     if args.markdown:
         Path(args.markdown).write_text(report.to_markdown())
         print(f"\nmarkdown report written to {args.markdown}")

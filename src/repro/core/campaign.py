@@ -32,6 +32,7 @@ from repro.core.resilience import FailureRecord
 from repro.faults.injector import NO_FAULTS, FaultInjector
 from repro.faults.model import FaultDescriptor, FaultSet, StuckAtFault
 from repro.faults.sites import PAPER_FAULT_SIGNAL, FaultSite, signal_dtype
+from repro.obs.trace import NULL_RECORDER
 from repro.ops.conv import SystolicConv2d
 from repro.ops.gemm import TiledGemm
 from repro.ops.im2col import ConvGeometry
@@ -303,6 +304,11 @@ class CampaignResult:
     experiments: list[ExperimentResult] = field(default_factory=list)
     wall_seconds: float = 0.0
     failures: list[FailureRecord] = field(default_factory=list)
+    #: Optional run-telemetry summary (elapsed, sites/s, cache hit rate)
+    #: attached by an observability-armed executor; ``None`` on plain runs.
+    #: Strictly observational — never part of the result-equivalence
+    #: contract, exactly like ``wall_seconds``.
+    telemetry: dict | None = None
 
     @property
     def is_complete(self) -> bool:
@@ -420,22 +426,24 @@ class Campaign:
         self.sites = list(sites)
 
     # ------------------------------------------------------------------
-    def _make_engine(self, injector: FaultInjector):
+    def _make_engine(self, injector: FaultInjector, recorder=NULL_RECORDER):
         if self.engine_kind == "cycle":
-            return CycleSimulator(self.mesh, injector=injector)
+            return CycleSimulator(self.mesh, injector=injector, recorder=recorder)
         return FunctionalSimulator(self.mesh, injector=injector)
 
     def run_single(
-        self, fault: FaultDescriptor | FaultSet
+        self, fault: FaultDescriptor | FaultSet, recorder=NULL_RECORDER
     ) -> tuple[np.ndarray, TilingPlan, ConvGeometry | None]:
         """Run the workload once under an arbitrary fault (or fault set)."""
         fault_set = fault if isinstance(fault, FaultSet) else FaultSet.of(fault)
-        engine = self._make_engine(FaultInjector(fault_set))
+        engine = self._make_engine(FaultInjector(fault_set), recorder=recorder)
         return self.workload.run(engine)
 
-    def golden_run(self) -> tuple[np.ndarray, TilingPlan, ConvGeometry | None]:
+    def golden_run(
+        self, recorder=NULL_RECORDER
+    ) -> tuple[np.ndarray, TilingPlan, ConvGeometry | None]:
         """The fault-free reference run: (golden output, plan, geometry)."""
-        return self.workload.run(self._make_engine(NO_FAULTS))
+        return self.workload.run(self._make_engine(NO_FAULTS, recorder=recorder))
 
     def run_experiment(
         self,
@@ -444,6 +452,7 @@ class Campaign:
         golden: np.ndarray,
         plan: TilingPlan,
         geometry: ConvGeometry | None,
+        recorder=NULL_RECORDER,
     ) -> ExperimentResult:
         """One FI experiment: inject at MAC ``(row, col)``, diff, classify.
 
@@ -451,18 +460,27 @@ class Campaign:
         processes — performs per fault site; keeping it on the campaign is
         what makes the execution strategy pluggable without duplicating the
         inject/diff/classify pipeline.
+
+        ``recorder`` is the tracing hook (see :mod:`repro.obs.trace`);
+        the default null recorder makes instrumentation free, and spans
+        never influence the returned result.
         """
-        fault = self.fault_spec.fault_at(row, col)
-        faulty, _, _ = self.run_single(fault)
-        pattern = extract_pattern(golden, faulty, plan=plan, geometry=geometry)
-        classification = classify_pattern(pattern)
-        return ExperimentResult(
-            site=fault.site,
-            classification=classification,
-            num_corrupted=pattern.num_corrupted,
-            max_abs_deviation=pattern.max_abs_deviation,
-            pattern=pattern if self.keep_patterns else None,
-        )
+        with recorder.span("experiment", cat="campaign", row=row, col=col):
+            fault = self.fault_spec.fault_at(row, col)
+            with recorder.span("experiment.simulate", cat="campaign"):
+                faulty, _, _ = self.run_single(fault, recorder=recorder)
+            with recorder.span("experiment.classify", cat="campaign"):
+                pattern = extract_pattern(
+                    golden, faulty, plan=plan, geometry=geometry
+                )
+                classification = classify_pattern(pattern)
+            return ExperimentResult(
+                site=fault.site,
+                classification=classification,
+                num_corrupted=pattern.num_corrupted,
+                max_abs_deviation=pattern.max_abs_deviation,
+                pattern=pattern if self.keep_patterns else None,
+            )
 
     def run(self, executor: "CampaignExecutor | None" = None) -> CampaignResult:
         """Execute the golden run plus one FI experiment per site.

@@ -86,7 +86,11 @@ from repro.core.resilience import (
     RetryPolicy,
     ShardCrash,
     ShardTimeout,
+    record_failure_metrics,
 )
+from repro.obs import NULL_OBS, Observability
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.core.serialize import (
     checkpoint_header,
     experiment_from_record,
@@ -137,11 +141,25 @@ class GoldenCache:
         self._runs.clear()
 
     def golden_run(
-        self, campaign: Campaign
+        self, campaign: Campaign, metrics=NULL_METRICS
     ) -> tuple[np.ndarray, TilingPlan, ConvGeometry | None]:
-        """The campaign's golden (output, plan, geometry), computed once."""
+        """The campaign's golden (output, plan, geometry), computed once.
+
+        ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry` or its
+        null twin) counts cache hits and misses — the study grid and
+        scaling benches read the hit rate off the exported telemetry.
+        """
         key = (campaign.workload, campaign.mesh, campaign.engine_kind)
-        if key not in self._runs:
+        if key in self._runs:
+            metrics.counter(
+                "repro_golden_cache_hits_total",
+                "Golden runs served from the per-process cache.",
+            ).inc()
+        else:
+            metrics.counter(
+                "repro_golden_cache_misses_total",
+                "Golden runs computed fresh (cache cold for the key).",
+            ).inc()
             golden, plan, geometry = campaign.golden_run()
             golden.setflags(write=False)
             self._runs[key] = (golden, plan, geometry)
@@ -208,19 +226,62 @@ def _merged_result(
 
 
 class SerialExecutor:
-    """The single-process reference implementation of a campaign sweep."""
+    """The single-process reference implementation of a campaign sweep.
+
+    Parameters
+    ----------
+    obs:
+        Observability bundle (see :mod:`repro.obs`); the default all-null
+        bundle keeps the reference path unobserved and free of overhead.
+        Armed or not, the produced :class:`CampaignResult` is
+        field-for-field identical — only the ``telemetry`` attachment and
+        ``wall_seconds`` differ.
+    """
+
+    def __init__(self, obs: Observability | None = None) -> None:
+        self.obs = obs if obs is not None else NULL_OBS
 
     def execute(self, campaign: Campaign) -> CampaignResult:
+        obs = self.obs
         start = time.perf_counter()
-        golden, plan, geometry = GOLDEN_CACHE.golden_run(campaign)
-        completed = {
-            (row, col): campaign.run_experiment(row, col, golden, plan, geometry)
-            for row, col in campaign.sites
-        }
-        return _merged_result(
-            campaign, golden, plan, geometry, completed,
-            time.perf_counter() - start,
+        completed: dict[tuple[int, int], ExperimentResult] = {}
+        with obs.recorder.span(
+            "campaign.execute", cat="campaign",
+            workload=campaign.workload.describe(), sites=len(campaign.sites),
+            jobs=1,
+        ):
+            with obs.recorder.span("campaign.golden", cat="campaign"):
+                golden, plan, geometry = GOLDEN_CACHE.golden_run(
+                    campaign, metrics=obs.metrics
+                )
+            obs.metrics.gauge(
+                "repro_sites_total", "Fault sites in the campaign sweep."
+            ).set(len(campaign.sites))
+            sites_done = obs.metrics.counter(
+                "repro_sites_completed_total",
+                "Fault sites whose experiment completed.",
+            )
+            progress = obs.progress
+            if progress is not None:
+                progress.begin(len(campaign.sites))
+            try:
+                for row, col in campaign.sites:
+                    completed[(row, col)] = campaign.run_experiment(
+                        row, col, golden, plan, geometry,
+                        recorder=obs.recorder,
+                    )
+                    sites_done.inc()
+                    if progress is not None:
+                        progress.advance()
+            finally:
+                if progress is not None:
+                    progress.finish()
+        wall_seconds = time.perf_counter() - start
+        result = _merged_result(
+            campaign, golden, plan, geometry, completed, wall_seconds,
         )
+        result.telemetry = obs.telemetry(wall_seconds, len(campaign.sites))
+        return result
 
 
 # ----------------------------------------------------------------------
@@ -230,6 +291,12 @@ class SerialExecutor:
 # exactly once, through the pool initializer; per-shard task payloads are
 # then just site lists. Module-level state is required because process
 # pools can only ship module-level callables.
+#
+# Tracing rides the same channel: when the parent's recorder is armed the
+# initializer gives each worker its own TraceRecorder, and every shard
+# payload carries the worker's drained span events alongside the results
+# (timestamps share the parent's monotonic clock, so the merged timeline
+# is coherent). Events never touch the experiment records themselves.
 
 _WORKER_STATE: tuple | None = None
 
@@ -240,34 +307,55 @@ def _init_worker(
     plan: TilingPlan,
     geometry: ConvGeometry | None,
     chaos: ChaosSpec | None = None,
+    trace: bool = False,
 ) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (campaign, golden, plan, geometry, chaos)
+    recorder = TraceRecorder() if trace else NULL_RECORDER
+    _WORKER_STATE = (campaign, golden, plan, geometry, chaos, recorder)
 
 
-def _run_shard(shard: list[tuple[int, int]]) -> list[ExperimentResult]:
+def _run_shard(
+    shard: list[tuple[int, int]],
+) -> tuple[list[ExperimentResult], list[dict]]:
     assert _WORKER_STATE is not None, "worker initializer did not run"
-    campaign, golden, plan, geometry, chaos = _WORKER_STATE
+    campaign, golden, plan, geometry, chaos, recorder = _WORKER_STATE
     mangled: list[int] = []
     results: list = []
-    for index, (row, col) in enumerate(shard):
-        if chaos is not None and chaos.fire((row, col)):
-            mangled.append(index)
-        results.append(
-            campaign.run_experiment(row, col, golden, plan, geometry)
-        )
+    with recorder.span("shard.run", cat="worker", sites=len(shard)):
+        for index, (row, col) in enumerate(shard):
+            if chaos is not None and chaos.fire((row, col)):
+                mangled.append(index)
+            results.append(
+                campaign.run_experiment(
+                    row, col, golden, plan, geometry, recorder=recorder
+                )
+            )
     for index in mangled:  # an injected "corrupt" action fired
         results[index] = {"mangled": True}
-    return results
+    return results, recorder.drain()
 
 
-def _validate_shard(results: object, sites: list[tuple[int, int]]) -> str | None:
+def _validate_shard(payload: object, sites: list[tuple[int, int]]) -> str | None:
     """Reason the worker payload is unusable, or ``None`` when sound.
 
     Workers are separate processes; a payload that survived pickling can
     still be wrong (a worker bug, a chaos ``corrupt`` action), and an
     unvalidated bad record would silently poison the canonical merge.
+    The payload is a ``(results, trace events)`` pair; the events list is
+    only shape-checked — a mangled event can at worst mangle a trace
+    file, never a result.
     """
+    if (
+        not isinstance(payload, tuple)
+        or len(payload) != 2
+        or not isinstance(payload[1], list)
+    ):
+        return (
+            f"worker returned a malformed shard payload "
+            f"(expected a (results, events) pair, got "
+            f"{type(payload).__name__})"
+        )
+    results = payload[0]
     if not isinstance(results, list) or len(results) != len(sites):
         return (
             f"worker returned a malformed shard payload "
@@ -314,6 +402,8 @@ class _InFlight:
 
     task: _ShardTask
     deadline: float | None = None
+    #: Monotonic submission instant, for the shard-latency histogram.
+    submitted_at: float = 0.0
 
 
 class _ShardDispatcher:
@@ -343,7 +433,11 @@ class _ShardDispatcher:
     ) -> None:
         self.executor = executor
         self.campaign = campaign
-        self.initargs = (campaign, golden, plan, geometry, executor.chaos)
+        self.obs = executor.obs
+        self.initargs = (
+            campaign, golden, plan, geometry, executor.chaos,
+            self.obs.recorder.armed,
+        )
         self.stream = stream
         shards = shard_sites(
             pending, executor.jobs * executor.shards_per_worker
@@ -461,6 +555,7 @@ class _ShardDispatcher:
             self.in_flight[future] = _InFlight(
                 task=task,
                 deadline=None if timeout is None else now + timeout,
+                submitted_at=time.monotonic(),
             )
 
     def _pop_ready(
@@ -505,17 +600,23 @@ class _ShardDispatcher:
                 continue
             task = entry.task
             try:
-                results = future.result()
+                payload = future.result()
             except BrokenProcessPool:
                 broken.append(task)
                 continue
             except Exception as exc:  # the worker raised for this shard
                 self._failure(task, FailureKind.CRASH, repr(exc))
                 continue
-            problem = _validate_shard(results, task.sites)
+            problem = _validate_shard(payload, task.sites)
             if problem is not None:
                 self._failure(task, FailureKind.CORRUPT_RESULT, problem)
                 continue
+            results, events = payload
+            self.obs.metrics.histogram(
+                "repro_shard_seconds",
+                "Wall-clock latency of successful shard attempts.",
+            ).observe(time.monotonic() - entry.submitted_at)
+            self.obs.recorder.ingest(events)
             self._store(results)
         if broken:
             self._on_pool_broken(broken)
@@ -524,6 +625,12 @@ class _ShardDispatcher:
         for experiment in results:
             key = (experiment.site.row, experiment.site.col)
             self.completed[key] = experiment
+        self.obs.metrics.counter(
+            "repro_sites_completed_total",
+            "Fault sites whose experiment completed.",
+        ).inc(len(results))
+        if self.obs.progress is not None:
+            self.obs.progress.advance(len(results))
         self.executor._record_batch(self.stream, results)
 
     def _on_pool_broken(self, broken: list[_ShardTask]) -> None:
@@ -582,7 +689,11 @@ class _ShardDispatcher:
         """Apply the retry → abort/bisect → quarantine ladder."""
         task.attempts += 1
         policy = self.executor.retry
-        if task.attempts <= policy.max_retries:
+        retried = task.attempts <= policy.max_retries
+        record_failure_metrics(self.obs.metrics, kind, retried=retried)
+        if retried:
+            if self.obs.progress is not None:
+                self.obs.progress.note_retry()
             task.ready_at = time.monotonic() + policy.delay(task.attempts)
             self.queue.append(task)
             return
@@ -591,6 +702,10 @@ class _ShardDispatcher:
         if len(task.sites) > 1:
             # Bisect: the poison site is somewhere inside; each half gets
             # a fresh retry budget and inherits suspect status.
+            self.obs.metrics.counter(
+                "repro_shard_bisections_total",
+                "Shards split in half to isolate a poison site.",
+            ).inc()
             mid = (len(task.sites) + 1) // 2
             for half in (task.sites[mid:], task.sites[:mid]):
                 self.queue.appendleft(
@@ -602,6 +717,12 @@ class _ShardDispatcher:
             row=row, col=col, kind=kind, attempts=task.attempts, error=error
         )
         self.failures[(row, col)] = failure
+        self.obs.metrics.counter(
+            "repro_quarantined_sites_total",
+            "Fault sites the runtime gave up on (quarantined).",
+        ).inc()
+        if self.obs.progress is not None:
+            self.obs.progress.note_quarantine()
         self.executor._record_failure(self.stream, failure)
 
     @staticmethod
@@ -685,6 +806,12 @@ class ParallelExecutor:
     chaos:
         Test-only failure-injection schedule shipped to workers (see
         :mod:`repro.core.chaos`). ``None`` in production.
+    obs:
+        Observability bundle (see :mod:`repro.obs`): span recorder,
+        metrics registry, live progress line. Defaults to the all-null
+        bundle (no overhead). When the recorder is armed, workers record
+        their own spans and ship them back with each shard's results.
+        Armed or not, campaign results are field-for-field identical.
     """
 
     def __init__(
@@ -698,6 +825,7 @@ class ParallelExecutor:
         retry: RetryPolicy | None = None,
         on_error: OnError | str = OnError.QUARANTINE,
         chaos: ChaosSpec | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -727,6 +855,7 @@ class ParallelExecutor:
             self.retry = RetryPolicy()
         self.on_error = OnError(on_error) if isinstance(on_error, str) else on_error
         self.chaos = chaos
+        self.obs = obs if obs is not None else NULL_OBS
 
     # ------------------------------------------------------------------
     def _restore(
@@ -878,28 +1007,57 @@ class ParallelExecutor:
 
     # ------------------------------------------------------------------
     def execute(self, campaign: Campaign) -> CampaignResult:
+        obs = self.obs
         start = time.perf_counter()
-        golden, plan, geometry = GOLDEN_CACHE.golden_run(campaign)
-        completed, failures = self._restore(campaign, golden, plan, geometry)
-        pending = [
-            site
-            for site in campaign.sites
-            if site not in completed and site not in failures
-        ]
-        stream = self._open_checkpoint(campaign)
-        try:
-            if pending:
-                dispatcher = _ShardDispatcher(
-                    self, campaign, golden, plan, geometry, pending, stream
+        with obs.recorder.span(
+            "campaign.execute", cat="campaign",
+            workload=campaign.workload.describe(), sites=len(campaign.sites),
+            jobs=self.jobs,
+        ):
+            with obs.recorder.span("campaign.golden", cat="campaign"):
+                golden, plan, geometry = GOLDEN_CACHE.golden_run(
+                    campaign, metrics=obs.metrics
                 )
-                ran, quarantined = dispatcher.run()
-                completed.update(ran)
-                failures.update(quarantined)
-        finally:
-            if stream is not None:
-                self._close_checkpoint(stream)
-        return _merged_result(
-            campaign, golden, plan, geometry, completed,
-            time.perf_counter() - start,
+            with obs.recorder.span("campaign.restore", cat="campaign"):
+                completed, failures = self._restore(
+                    campaign, golden, plan, geometry
+                )
+            pending = [
+                site
+                for site in campaign.sites
+                if site not in completed and site not in failures
+            ]
+            obs.metrics.gauge(
+                "repro_sites_total", "Fault sites in the campaign sweep."
+            ).set(len(campaign.sites))
+            if obs.progress is not None:
+                obs.progress.begin(
+                    len(campaign.sites),
+                    done=len(completed) + len(failures),
+                )
+            stream = self._open_checkpoint(campaign)
+            try:
+                if pending:
+                    with obs.recorder.span(
+                        "campaign.dispatch", cat="campaign",
+                        pending=len(pending),
+                    ):
+                        dispatcher = _ShardDispatcher(
+                            self, campaign, golden, plan, geometry, pending,
+                            stream,
+                        )
+                        ran, quarantined = dispatcher.run()
+                    completed.update(ran)
+                    failures.update(quarantined)
+            finally:
+                if obs.progress is not None:
+                    obs.progress.finish()
+                if stream is not None:
+                    self._close_checkpoint(stream)
+        wall_seconds = time.perf_counter() - start
+        result = _merged_result(
+            campaign, golden, plan, geometry, completed, wall_seconds,
             failures=failures,
         )
+        result.telemetry = obs.telemetry(wall_seconds, len(campaign.sites))
+        return result

@@ -92,6 +92,18 @@ def campaign_summary(result: CampaignResult, name: str | None = None) -> str:
             f"  quarantined : {len(result.failures)} site(s) "
             f"[{quarantined}] — reductions cover the sites that ran"
         )
+    if result.telemetry is not None:
+        t = result.telemetry
+        lines.append(
+            f"  telemetry   : {t['elapsed_seconds']:.2f}s elapsed, "
+            f"{t['sites_per_second']:.1f} sites/s, "
+            f"golden-cache hit rate {100.0 * t['golden_cache_hit_rate']:.0f}%"
+        )
+        if t.get("retries") or t.get("quarantined"):
+            lines.append(
+                f"                retries {t['retries']}, "
+                f"quarantined {t['quarantined']}"
+            )
     lines += [
         f"  SDC rate    : {100.0 * result.sdc_rate():.1f}%",
         f"  mean corrupted cells: {result.mean_corrupted_cells():.2f}",

@@ -45,6 +45,7 @@ __all__ = [
     "OnError",
     "RetryPolicy",
     "FailureRecord",
+    "record_failure_metrics",
 ]
 
 
@@ -220,3 +221,24 @@ class FailureRecord:
             f"MAC({self.row},{self.col}) quarantined after "
             f"{self.attempts} attempt(s): {self.kind} — {self.error}"
         )
+
+
+def record_failure_metrics(metrics, kind: FailureKind, *, retried: bool) -> None:
+    """Count one shard failure — and the retry it earned, if any.
+
+    ``metrics`` is a :class:`repro.obs.metrics.MetricsRegistry` (or its
+    null twin); the dispatcher calls this on every trip through the
+    retry → bisect → quarantine ladder so the failure taxonomy shows up
+    in the exported metrics with the same vocabulary this module defines.
+    Purely observational: policy decisions never read these counters.
+    """
+    metrics.counter(
+        "repro_shard_failures_total",
+        "Shard attempts that failed, by failure kind.",
+        kind=str(kind),
+    ).inc()
+    if retried:
+        metrics.counter(
+            "repro_shard_retries_total",
+            "Failed shard attempts re-queued under the retry policy.",
+        ).inc()

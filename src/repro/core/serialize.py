@@ -29,6 +29,7 @@ from repro.core.classifier import Classification, PatternClass
 from repro.core.fault_patterns import FaultPattern
 from repro.core.resilience import FailureKind, FailureRecord
 from repro.faults.sites import FaultSite
+from repro.obs.metrics import MetricsRegistry
 from repro.ops.im2col import ConvGeometry
 from repro.ops.tiling import TilingPlan
 
@@ -39,6 +40,10 @@ __all__ = [
     "load_campaign",
     "fault_dictionary",
     "save_fault_dictionary",
+    "metrics_to_dict",
+    "metrics_from_dict",
+    "save_metrics",
+    "load_metrics",
     "checkpoint_header",
     "experiment_record",
     "experiment_from_record",
@@ -57,8 +62,11 @@ def campaign_to_dict(result: CampaignResult) -> dict[str, Any]:
 
     The golden output itself is summarised (shape only) — experiments carry
     the corruption coordinates, which is all the pattern machinery needs.
+    An observability-armed run additionally lands its telemetry summary
+    under ``"telemetry"``; plain runs omit the key entirely, so archived
+    artefacts of the two differ only by that optional section.
     """
-    return {
+    data: dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "workload": result.workload.describe(),
         "operation": str(result.workload.operation),
@@ -96,6 +104,9 @@ def campaign_to_dict(result: CampaignResult) -> dict[str, Any]:
             for e in result.experiments
         ],
     }
+    if result.telemetry is not None:
+        data["telemetry"] = result.telemetry
+    return data
 
 
 def save_campaign(result: CampaignResult, path: str | Path) -> Path:
@@ -163,6 +174,58 @@ def save_fault_dictionary(result: CampaignResult, path: str | Path) -> Path:
     path = Path(path)
     path.write_text(json.dumps(fault_dictionary(result), indent=2))
     return path
+
+
+# ----------------------------------------------------------------------
+# Metrics snapshot codec (see repro.obs.metrics)
+# ----------------------------------------------------------------------
+
+
+def metrics_to_dict(registry: MetricsRegistry) -> dict[str, Any]:
+    """Serialise a metrics registry as a versioned JSON snapshot.
+
+    The instrument dump itself comes from
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`; this adds the
+    artefact envelope (schema version, kind tag) every other codec in
+    this module carries, so tooling can sniff the file type.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "metrics-snapshot",
+        "metrics": registry.snapshot(),
+    }
+
+
+def metrics_from_dict(data: dict[str, Any]) -> MetricsRegistry:
+    """Rebuild a :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
+
+    Raises
+    ------
+    ValueError
+        If the envelope is not a metrics snapshot or carries an unknown
+        schema version.
+    """
+    if data.get("kind") != "metrics-snapshot":
+        raise ValueError("not a metrics snapshot artefact")
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported metrics schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return MetricsRegistry.from_snapshot(data["metrics"])
+
+
+def save_metrics(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write a metrics snapshot as JSON; returns the written path."""
+    path = Path(path)
+    path.write_text(json.dumps(metrics_to_dict(registry), indent=2))
+    return path
+
+
+def load_metrics(path: str | Path) -> MetricsRegistry:
+    """Load a metrics snapshot written by :func:`save_metrics`."""
+    return metrics_from_dict(json.loads(Path(path).read_text()))
 
 
 # ----------------------------------------------------------------------

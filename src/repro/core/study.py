@@ -24,7 +24,7 @@ from repro.core.campaign import (
     GemmWorkload,
 )
 from repro.core.classifier import PatternClass
-from repro.core.executor import ParallelExecutor
+from repro.core.executor import ParallelExecutor, SerialExecutor
 from repro.core.predictor import predict_class
 from repro.core.reports import format_markdown_table, format_table
 from repro.core.sampling import paper_configurations
@@ -159,6 +159,7 @@ def run_paper_study(
     shard_timeout: float | None = None,
     max_retries: int | None = None,
     on_error: str = "quarantine",
+    obs=None,
 ) -> StudyReport:
     """Run every Table I configuration and assemble the report.
 
@@ -181,17 +182,25 @@ def run_paper_study(
         Failure policy forwarded to the parallel executor (ignored when
         ``jobs == 1``); see :mod:`repro.core.resilience` and
         ``docs/resilience.md``.
+    obs:
+        Observability bundle (see :mod:`repro.obs`) shared by every
+        campaign of the study: spans and metrics accumulate across the
+        whole grid, and the progress line restarts per configuration.
+        ``None`` (default) runs unobserved; either way the report is
+        identical.
     """
-    executor = (
-        ParallelExecutor(
+    if jobs > 1:
+        executor: ParallelExecutor | SerialExecutor | None = ParallelExecutor(
             jobs=jobs,
             shard_timeout=shard_timeout,
             max_retries=max_retries,
             on_error=on_error,
+            obs=obs,
         )
-        if jobs > 1
-        else None
-    )
+    elif obs is not None and obs.armed:
+        executor = SerialExecutor(obs=obs)
+    else:
+        executor = None
     mesh = mesh or MeshConfig.paper()
     report = StudyReport(mesh=mesh, fault_spec=fault_spec)
     seen: set[str] = set()

@@ -1,0 +1,125 @@
+"""``repro.obs`` — zero-dependency observability for campaign runs.
+
+Three pillars, each with a no-op null twin so the disabled path costs
+nothing and instrumentation sites never branch:
+
+* :mod:`repro.obs.trace` — hierarchical spans on monotonic clocks,
+  aggregated from worker processes through the shard-result channel and
+  exported as Chrome trace-event JSON (loadable in Perfetto);
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with Prometheus
+  text exposition and a JSON snapshot codec;
+* :mod:`repro.obs.progress` — a live progress line (done/total, sites/s,
+  ETA, retry/quarantine counts).
+
+:class:`Observability` bundles one of each for threading through the
+executors; :data:`NULL_OBS` is the all-disabled default. The subsystem is
+strictly observational: enabling any part of it leaves campaign results
+field-for-field identical (pinned by ``tests/core/test_obs_equivalence``).
+
+Timing calls inside this package are *sanctioned telemetry* for the
+determinism lint battery — see ``SANCTIONED_TELEMETRY`` in
+:mod:`repro.checks.determinism`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    NULL_METRICS,
+    parse_prometheus,
+)
+from repro.obs.progress import ProgressReporter, format_eta
+from repro.obs.trace import (
+    NullRecorder,
+    NULL_RECORDER,
+    TraceRecorder,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "parse_prometheus",
+    "ProgressReporter",
+    "format_eta",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "TraceRecorder",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "Observability",
+    "NULL_OBS",
+]
+
+
+@dataclass
+class Observability:
+    """The bundle the executors thread through a campaign run.
+
+    ``recorder`` and ``metrics`` default to their null twins; ``progress``
+    defaults to ``None`` (no live line). Any combination may be armed —
+    the CLI builds exactly what the ``--trace``/``--metrics``/``--progress``
+    flags ask for.
+    """
+
+    recorder: NullRecorder | TraceRecorder = NULL_RECORDER
+    metrics: NullMetrics | MetricsRegistry = NULL_METRICS
+    progress: ProgressReporter | None = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether any pillar is live."""
+        return (
+            self.recorder.armed
+            or self.metrics.armed
+            or self.progress is not None
+        )
+
+    def telemetry(self, wall_seconds: float, sites: int) -> dict[str, Any] | None:
+        """The campaign-level telemetry summary, or ``None`` when unarmed.
+
+        Derived entirely from the metrics registry and the wall clock the
+        executor already measures — attaching it never perturbs results.
+        """
+        if not self.metrics.armed:
+            return None
+        completed = self.metrics.value("repro_sites_completed_total")
+        cache_hits = self.metrics.value("repro_golden_cache_hits_total")
+        cache_misses = self.metrics.value("repro_golden_cache_misses_total")
+        cache_lookups = cache_hits + cache_misses
+        summary: dict[str, Any] = {
+            "elapsed_seconds": wall_seconds,
+            "sites": sites,
+            "sites_completed": int(completed),
+            "sites_per_second": (
+                completed / wall_seconds if wall_seconds > 0 else 0.0
+            ),
+            "golden_cache_hit_rate": (
+                cache_hits / cache_lookups if cache_lookups > 0 else 0.0
+            ),
+            "retries": int(self.metrics.value("repro_shard_retries_total")),
+            "quarantined": int(
+                self.metrics.value("repro_quarantined_sites_total")
+            ),
+        }
+        return summary
+
+
+#: The all-disabled bundle; executors default to this.
+NULL_OBS = Observability()

@@ -1,0 +1,357 @@
+"""Counters, gauges and histograms with Prometheus text exposition.
+
+A :class:`MetricsRegistry` hands out get-or-create metric instruments
+keyed by ``(name, labels)``; the executor and resilience runtime record
+campaign health into it (sites completed, golden-cache hits, retries,
+quarantines, shard latency). Two codecs ship with it:
+
+* :meth:`MetricsRegistry.render_prometheus` — the Prometheus text
+  exposition format (``# HELP``/``# TYPE`` plus samples), parsed back by
+  :func:`parse_prometheus` (the validator the tests and CI smoke use);
+* a JSON snapshot (``snapshot``/``from_snapshot``) whose file envelope
+  lives in :mod:`repro.core.serialize`.
+
+The disabled path is :data:`NULL_METRICS`, whose instruments are shared
+no-op singletons — instrumentation sites never branch on "is metrics on".
+
+Like everything in ``repro.obs``, metrics are observational only: no
+experiment result ever depends on a metric value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "parse_prometheus",
+]
+
+
+class Counter:
+    """A monotonically increasing count (events, completions, retries)."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (totals, in-flight counts)."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+#: Default histogram buckets, in seconds — tuned for shard latencies that
+#: range from milliseconds (functional engine) to minutes (cycle engine).
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``counts[i]`` is the number of observations ``<= buckets[i]``; the
+    implicit ``+Inf`` bucket is ``count``. Percentiles are estimated by
+    linear interpolation inside the winning bucket — good enough for the
+    shard-latency summaries the reports print.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")  # repro: ignore[signal-literal]
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+        self.sum += value
+        self.count += 1
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``q`` in [0, 1]) of the observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        previous_bound = 0.0
+        previous_count = 0
+        for bound, cumulative in zip(self.buckets, self.counts):
+            if cumulative >= rank:
+                bucket_population = cumulative - previous_count
+                if bucket_population == 0:
+                    return bound
+                fraction = (rank - previous_count) / bucket_population
+                return previous_bound + fraction * (bound - previous_bound)
+            previous_bound = bound
+            previous_count = cumulative
+        return self.buckets[-1]
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + body + "}"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, labelled metric instruments.
+
+    Instruments are keyed by ``(name, sorted label items)``; asking for an
+    existing name with a different kind raises, which catches catalogue
+    drift at the instrumentation site.
+    """
+
+    #: Whether this registry actually records (the null twin says False).
+    armed = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], Any] = {}
+        self._help: dict[str, str] = {}
+
+    def _get(self, factory, name: str, help: str, labels: dict[str, str]):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+            if help:
+                self._help.setdefault(name, help)
+        elif not isinstance(metric, factory):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "", **labels: str) -> Histogram:
+        return self._get(Histogram, name, help, labels)
+
+    def value(self, name: str, **labels: str) -> float:
+        """The current value of a counter/gauge (0.0 when absent)."""
+        metric = self._metrics.get((name, _label_key(labels)))
+        if metric is None:
+            return 0.0
+        if isinstance(metric, Histogram):
+            raise ValueError(f"{name!r} is a histogram; read .sum/.count")
+        return metric.value
+
+    def histogram_at(self, name: str, **labels: str) -> Histogram | None:
+        """The histogram instrument at ``(name, labels)``, if registered."""
+        metric = self._metrics.get((name, _label_key(labels)))
+        if metric is not None and not isinstance(metric, Histogram):
+            raise ValueError(f"{name!r} is a {metric.kind}, not a histogram")
+        return metric
+
+    # ------------------------------------------------------------------
+    # Codecs
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[dict[str, Any]]:
+        """JSON-compatible dump of every instrument (sorted, stable)."""
+        entries: list[dict[str, Any]] = []
+        for (name, labels), metric in sorted(self._metrics.items()):
+            entry: dict[str, Any] = {
+                "name": name,
+                "kind": metric.kind,
+                "labels": {key: value for key, value in labels},
+                "help": self._help.get(name, ""),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["counts"] = list(metric.counts)
+                entry["sum"] = metric.sum  # repro: ignore[signal-literal]
+                entry["count"] = metric.count
+            else:
+                entry["value"] = metric.value
+            entries.append(entry)
+        return entries
+
+    @classmethod
+    def from_snapshot(cls, entries: Iterable[dict[str, Any]]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output."""
+        registry = cls()
+        for entry in entries:
+            name = entry["name"]
+            labels = dict(entry["labels"])
+            kind = entry["kind"]
+            if kind == "counter":
+                registry.counter(name, entry.get("help", ""), **labels).value = entry["value"]
+            elif kind == "gauge":
+                registry.gauge(name, entry.get("help", ""), **labels).value = entry["value"]
+            elif kind == "histogram":
+                histogram = Histogram(buckets=entry["buckets"])
+                histogram.counts = list(entry["counts"])
+                histogram.sum = entry["sum"]  # repro: ignore[signal-literal]
+                histogram.count = entry["count"]
+                registry._metrics[(name, _label_key(labels))] = histogram
+                if entry.get("help"):
+                    registry._help.setdefault(name, entry["help"])
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+        return registry
+
+    def render_prometheus(self) -> str:
+        """Render every instrument in the Prometheus text exposition format."""
+        by_name: dict[str, list[tuple[tuple[tuple[str, str], ...], Any]]] = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            by_name.setdefault(name, []).append((labels, metric))
+        lines: list[str] = []
+        for name, instruments in by_name.items():
+            help_text = self._help.get(name, "")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {instruments[0][1].kind}")
+            for labels, metric in instruments:
+                if isinstance(metric, Histogram):
+                    for bound, cumulative in zip(metric.buckets, metric.counts):
+                        bucket_labels = labels + (("le", repr(float(bound))),)
+                        lines.append(
+                            f"{name}_bucket{_render_labels(bucket_labels)} {cumulative}"
+                        )
+                    inf_labels = labels + (("le", "+Inf"),)
+                    lines.append(
+                        f"{name}_bucket{_render_labels(inf_labels)} {metric.count}"
+                    )
+                    lines.append(f"{name}_sum{_render_labels(labels)} {metric.sum}")
+                    lines.append(f"{name}_count{_render_labels(labels)} {metric.count}")
+                else:
+                    lines.append(f"{name}{_render_labels(labels)} {metric.value}")
+        return "\n".join(lines) + "\n"
+
+
+class _NullInstrument:
+    """Shared stand-in for every instrument kind when metrics are off."""
+
+    __slots__ = ()
+
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Registry twin whose instruments do nothing (the disabled path)."""
+
+    __slots__ = ()
+
+    armed = False
+
+    def counter(self, name: str, help: str = "", **labels: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "", **labels: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def value(self, name: str, **labels: str) -> float:
+        return 0.0
+
+
+#: Shared null registry; instrumented code defaults to this.
+NULL_METRICS = NullMetrics()
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse Prometheus text exposition into ``{sample_line: value}``.
+
+    A deliberately strict parser used as a *validator* by the codec tests
+    and the CI smoke job: it accepts exactly the subset
+    :meth:`MetricsRegistry.render_prometheus` emits and raises
+    :class:`ValueError` on anything malformed (bad comment, unparsable
+    sample, non-numeric value).
+    """
+    samples: dict[str, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment {raw!r}")
+            if parts[1] == "TYPE" and parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped",
+            ):
+                raise ValueError(f"line {lineno}: unknown metric type {parts[3]!r}")
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"line {lineno}: sample has no value: {raw!r}")
+        if "{" in name_part and not name_part.endswith("}"):
+            raise ValueError(f"line {lineno}: unbalanced labels: {raw!r}")
+        metric_name = name_part.split("{", 1)[0]
+        if not metric_name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"line {lineno}: bad metric name {metric_name!r}")
+        try:
+            value = float(value_part)
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: non-numeric value {value_part!r}"
+            ) from exc
+        samples[name_part] = value
+    return samples

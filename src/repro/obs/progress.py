@@ -1,0 +1,137 @@
+"""Live progress line for long campaigns (done/total, sites/s, ETA).
+
+The reporter renders a single carriage-return-refreshed line::
+
+    campaign  212/256 (82.8%)  14.3 sites/s  ETA 0:00:03  retries 1  quarantined 0
+
+It runs only in the parent process (the dispatcher advances it as shards
+complete), throttles redraws to ``min_interval`` seconds, and writes to
+stderr by default so piped stdout artefacts stay clean. Like the rest of
+:mod:`repro.obs` it is observational only — dropping it changes nothing
+about campaign results.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+__all__ = ["ProgressReporter", "format_eta"]
+
+
+def format_eta(seconds: float) -> str:
+    """Render a second count as ``h:mm:ss`` (``--:--:--`` when unknown)."""
+    if seconds < 0 or seconds != seconds or seconds == float("inf"):
+        return "--:--:--"
+    whole = int(seconds + 0.5)
+    hours, remainder = divmod(whole, 3600)
+    minutes, secs = divmod(remainder, 60)
+    return f"{hours}:{minutes:02d}:{secs:02d}"
+
+
+class ProgressReporter:
+    """Renders the live progress line as sites complete.
+
+    Parameters
+    ----------
+    stream:
+        Output stream; defaults to ``sys.stderr``.
+    min_interval:
+        Minimum seconds between redraws (the final :meth:`finish` render
+        always happens).
+    label:
+        Leading word of the line (``campaign``, a study configuration, …).
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        min_interval: float = 0.1,
+        label: str = "campaign",
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._min_interval = min_interval
+        self._label = label
+        self._total = 0
+        self._done = 0
+        self._retries = 0
+        self._quarantined = 0
+        self._started = 0.0
+        self._baseline = 0
+        self._last_render = 0.0
+        self._active = False
+
+    # ------------------------------------------------------------------
+    def begin(self, total: int, done: int = 0) -> None:
+        """Start (or restart) the line for a sweep of ``total`` sites.
+
+        ``done`` seeds the completed count — a resumed campaign starts
+        from its checkpoint's restored sites. Rate and ETA are computed
+        from the sites completed *this run*, not the restored ones.
+        """
+        self._total = total
+        self._done = done
+        self._baseline = done
+        self._retries = 0
+        self._quarantined = 0
+        self._started = time.monotonic()
+        self._last_render = 0.0
+        self._active = True
+        self._render(force=True)
+
+    def advance(self, n: int = 1) -> None:
+        """Record ``n`` more completed sites and maybe redraw."""
+        self._done += n
+        self._render()
+
+    def note_retry(self) -> None:
+        """Record one shard retry (shown in the line's tail)."""
+        self._retries += 1
+        self._render()
+
+    def note_quarantine(self, n: int = 1) -> None:
+        """Record ``n`` quarantined sites (shown in the line's tail)."""
+        self._quarantined += n
+        self._render()
+
+    def finish(self) -> None:
+        """Final render plus newline, leaving the line on screen."""
+        if not self._active:
+            return
+        self._render(force=True)
+        self._stream.write("\n")
+        self._stream.flush()
+        self._active = False
+
+    # ------------------------------------------------------------------
+    def rate(self) -> float:
+        """Sites completed per second this run (0.0 before any work)."""
+        elapsed = time.monotonic() - self._started
+        fresh = self._done - self._baseline
+        if elapsed <= 0.0 or fresh <= 0:
+            return 0.0
+        return fresh / elapsed
+
+    def line(self) -> str:
+        """The current progress line (exposed for the anatomy tests)."""
+        total = self._total or 1
+        percent = 100.0 * self._done / total
+        rate = self.rate()
+        remaining = self._total - self._done
+        eta = format_eta(remaining / rate) if rate > 0 else "--:--:--"
+        return (
+            f"{self._label}  {self._done}/{self._total} ({percent:.1f}%)  "
+            f"{rate:.1f} sites/s  ETA {eta}  "
+            f"retries {self._retries}  quarantined {self._quarantined}"
+        )
+
+    def _render(self, force: bool = False) -> None:
+        if not self._active and not force:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_render < self._min_interval:
+            return
+        self._last_render = now
+        self._stream.write("\r\x1b[2K" + self.line())
+        self._stream.flush()

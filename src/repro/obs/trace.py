@@ -1,0 +1,244 @@
+"""Hierarchical spans on monotonic clocks, exported as Chrome trace JSON.
+
+The span model is deliberately tiny: a *span* is a named interval opened
+with :meth:`TraceRecorder.span` (a context manager) and closed on exit; an
+*instant* is a zero-duration marker. Both become Chrome trace-event
+objects — the ``{"traceEvents": [...]}`` JSON understood by Perfetto and
+``chrome://tracing`` — via :func:`to_chrome_trace`.
+
+Two properties make the recorder safe inside the sharded executor:
+
+* **Monotonic, process-shared timebase.** Timestamps come from
+  ``time.perf_counter_ns()``, which on Linux is ``CLOCK_MONOTONIC`` — a
+  system-wide clock, so spans recorded in forked worker processes land on
+  the same timeline as the parent's and interleave correctly in Perfetto.
+* **Explicit aggregation, no shared state.** Workers record into their own
+  :class:`TraceRecorder` and ship the drained event list back through the
+  existing shard-result channel; the parent calls :meth:`ingest`. Nothing
+  about tracing touches the experiment results, preserving the
+  bit-identical-results contract.
+
+The disabled path is the null-object :data:`NULL_RECORDER`: its ``span``
+returns a reusable no-op context manager, so instrumented code pays one
+attribute lookup and one method call per span — nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = [
+    "NullRecorder",
+    "NULL_RECORDER",
+    "TraceRecorder",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+class _NullSpan:
+    """The reusable no-op context manager handed out by the null recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Recorder with every operation stubbed out (the disabled path).
+
+    Instrumentation sites hold a recorder unconditionally and call it
+    unconditionally; when tracing is off they hold this object, whose
+    methods do nothing and allocate nothing.
+    """
+
+    __slots__ = ()
+
+    #: Whether this recorder actually captures events.
+    armed = False
+
+    def span(self, name: str, cat: str = "", **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, cat: str = "", **args: Any) -> None:
+        return None
+
+    def ingest(self, events: Iterable[dict[str, Any]]) -> None:
+        return None
+
+    def drain(self) -> list[dict[str, Any]]:
+        return []
+
+    def events(self) -> list[dict[str, Any]]:
+        return []
+
+
+#: Shared null recorder; instrumented code defaults to this.
+NULL_RECORDER = NullRecorder()
+
+
+class _Span:
+    """One live span: captures enter/exit times, appends a complete event.
+
+    Emitted as a Chrome ``"X"`` (complete) event — begin timestamp plus
+    duration — which needs no begin/end pairing on export.
+    """
+
+    __slots__ = ("_recorder", "_event", "_start_ns")
+
+    def __init__(self, recorder: "TraceRecorder", event: dict[str, Any]) -> None:
+        self._recorder = recorder
+        self._event = event
+        self._start_ns = 0
+
+    def __enter__(self) -> "_Span":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        end_ns = time.perf_counter_ns()
+        event = self._event
+        event["ts"] = self._start_ns // 1000
+        event["dur"] = (end_ns - self._start_ns) // 1000
+        self._recorder._append(event)
+
+
+class TraceRecorder:
+    """Collects trace events in memory; export via :func:`to_chrome_trace`.
+
+    Timestamps are microseconds of ``time.perf_counter_ns()``; ``pid`` and
+    ``tid`` are the recording process and thread, so worker events drained
+    into the parent keep their origin visible as separate Perfetto tracks.
+    """
+
+    __slots__ = ("_events", "_pid")
+
+    #: Whether this recorder actually captures events.
+    armed = True
+
+    def __init__(self) -> None:
+        self._events: list[dict[str, Any]] = []
+        self._pid = os.getpid()
+
+    def _append(self, event: dict[str, Any]) -> None:
+        self._events.append(event)
+
+    def span(self, name: str, cat: str = "", **args: Any) -> _Span:
+        """A context manager recording ``name`` as a complete ("X") event."""
+        event: dict[str, Any] = {
+            "name": name,
+            "cat": cat or "repro",
+            "ph": "X",
+            "ts": 0,
+            "dur": 0,
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+        }
+        if args:
+            event["args"] = args
+        return _Span(self, event)
+
+    def instant(self, name: str, cat: str = "", **args: Any) -> None:
+        """Record a zero-duration ("i") marker at the current time."""
+        event: dict[str, Any] = {
+            "name": name,
+            "cat": cat or "repro",
+            "ph": "i",
+            "ts": time.perf_counter_ns() // 1000,
+            "s": "p",
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def ingest(self, events: Iterable[dict[str, Any]]) -> None:
+        """Adopt events recorded elsewhere (a worker's drained list)."""
+        self._events.extend(events)
+
+    def drain(self) -> list[dict[str, Any]]:
+        """Return all recorded events and clear the buffer.
+
+        This is the worker side of the aggregation protocol: the shard
+        payload carries ``drain()``'s return value back to the parent,
+        which :meth:`ingest`\\ s it.
+        """
+        events = self._events
+        self._events = []
+        return events
+
+    def events(self) -> list[dict[str, Any]]:
+        """The recorded events (without clearing)."""
+        return list(self._events)
+
+
+def to_chrome_trace(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Wrap recorded events as a Chrome trace-event JSON object.
+
+    The result loads directly in Perfetto (https://ui.perfetto.dev) and
+    ``chrome://tracing``. Events are sorted by timestamp so the file is
+    stable regardless of worker completion order.
+    """
+    ordered = sorted(events, key=lambda event: (event.get("ts", 0), event.get("pid", 0)))
+    return {"traceEvents": ordered, "displayTimeUnit": "ms"}
+
+
+_REQUIRED_EVENT_FIELDS = ("name", "ph", "ts", "pid", "tid")
+_KNOWN_PHASES = frozenset({"X", "B", "E", "i", "I", "M", "C"})
+
+
+def validate_chrome_trace(data: Any) -> list[str]:
+    """Validate a Chrome trace object; returns a list of problems.
+
+    An empty list means the object is a well-formed trace: a dict with a
+    ``traceEvents`` list whose entries carry ``name``/``ph``/``ts``/
+    ``pid``/``tid``, a known phase, and — for complete events — a
+    non-negative ``dur``. Used by the codec tests and the CI smoke job.
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return [f"trace root must be an object, got {type(data).__name__}"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace object has no traceEvents list"]
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index} is not an object")
+            continue
+        for field in _REQUIRED_EVENT_FIELDS:
+            if field not in event:
+                problems.append(f"event {index} ({event.get('name')!r}) missing {field!r}")
+        phase = event.get("ph")
+        if phase is not None and phase not in _KNOWN_PHASES:
+            problems.append(f"event {index} has unknown phase {phase!r}")
+        ts = event.get("ts")
+        if ts is not None and (not isinstance(ts, (int, float)) or ts < 0):
+            problems.append(f"event {index} has invalid ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {index} has invalid dur {dur!r}")
+    return problems
+
+
+def write_chrome_trace(
+    events: Iterable[dict[str, Any]], path: str | Path
+) -> Path:
+    """Write events as a Chrome trace JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(events), indent=2))
+    return path

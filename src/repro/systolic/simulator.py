@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.faults.injector import NO_FAULTS, FaultInjector
+from repro.obs.trace import NULL_RECORDER
 from repro.systolic.array import MeshConfig, SystolicArray
 from repro.systolic.dataflow import Dataflow, make_schedule
 from repro.systolic.signals import SignalProbe
@@ -34,6 +35,11 @@ class CycleSimulator:
         Fault overlay; defaults to a golden (fault-free) mesh.
     probe:
         Optional signal observer attached to every MAC unit.
+    recorder:
+        Tracing hook (see :mod:`repro.obs.trace`); per-phase setup /
+        stream / drain spans are recorded for every tile. The default
+        null recorder makes the instrumentation free, and spans never
+        influence computed results.
 
     Notes
     -----
@@ -47,10 +53,12 @@ class CycleSimulator:
         config: MeshConfig,
         injector: FaultInjector = NO_FAULTS,
         probe: SignalProbe | None = None,
+        recorder=NULL_RECORDER,
     ) -> None:
         self.config = config
         self.injector = injector
         self.array = SystolicArray(config, injector=injector, probe=probe)
+        self.recorder = recorder
         self.cycles_elapsed = 0
         self.tiles_executed = 0
 
@@ -73,11 +81,19 @@ class CycleSimulator:
             ``(M, N)`` int64 array of wrapped INT32 results — bit-exact with
             the hardware, including any injected fault effects.
         """
-        schedule = make_schedule(dataflow, a, b, bias=bias)
-        schedule.setup(self.array)
-        for cycle in range(schedule.total_cycles):
-            schedule.step(self.array, cycle)
-            schedule.harvest(self.array, cycle)
+        recorder = self.recorder
+        with recorder.span("cycle.matmul", cat="simulator"):
+            with recorder.span("cycle.setup", cat="simulator"):
+                schedule = make_schedule(dataflow, a, b, bias=bias)
+                schedule.setup(self.array)
+            with recorder.span(
+                "cycle.stream", cat="simulator", cycles=schedule.total_cycles
+            ):
+                for cycle in range(schedule.total_cycles):
+                    schedule.step(self.array, cycle)
+                    schedule.harvest(self.array, cycle)
+            with recorder.span("cycle.drain", cat="simulator"):
+                output = schedule.result(self.array)
         self.cycles_elapsed += schedule.total_cycles
         self.tiles_executed += 1
-        return schedule.result(self.array)
+        return output

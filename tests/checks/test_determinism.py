@@ -263,6 +263,97 @@ class TestWorkerEntropy:
         assert _findings(tmp_path, "worker-entropy") == []
 
 
+class TestSanctionedTelemetry:
+    """The ``repro.obs`` allowlist: clocks are sanctioned there, nowhere else."""
+
+    OBS_HELPER = """
+        import time
+
+        def stamp():
+            return time.perf_counter_ns()
+        """
+
+    WORKER = """
+        from repro.obs.fake import stamp
+
+        def _run_shard(shard):
+            return shard, stamp()
+        """
+
+    def test_obs_module_clock_is_clean(self, write_module, tmp_path):
+        write_module("repro.obs.fake", self.OBS_HELPER)
+        write_module("repro.core.pool", self.WORKER)
+        assert _findings(tmp_path, "worker-wall-clock") == []
+
+    def test_obs_module_entropy_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.obs.fake",
+            """
+            import os
+
+            def trace_id():
+                return os.urandom(8).hex()
+            """,
+        )
+        write_module(
+            "repro.core.pool",
+            """
+            from repro.obs.fake import trace_id
+
+            def _run_shard(shard):
+                return shard, trace_id()
+            """,
+        )
+        assert _findings(tmp_path, "worker-entropy") == []
+
+    def test_results_path_clock_still_fires(self, write_module, tmp_path):
+        # The allowlist keys on the *defining* module: the same clock call
+        # in a results-path module is still a hazard.
+        write_module(
+            "repro.core.clockhelper",
+            """
+            import time
+
+            def stamp():
+                return time.perf_counter_ns()
+
+            def _run_shard(shard):
+                return shard, stamp()
+            """,
+        )
+        assert len(_findings(tmp_path, "worker-wall-clock")) == 1
+
+    def test_worker_calling_into_obs_and_core_fires_once(
+        self, write_module, tmp_path
+    ):
+        # Mixed closure: the obs-side read is sanctioned, the core-side
+        # read is not — exactly one finding.
+        write_module("repro.obs.fake", self.OBS_HELPER)
+        write_module(
+            "repro.core.pool",
+            """
+            import time
+
+            from repro.obs.fake import stamp
+
+            def _run_shard(shard):
+                started = time.perf_counter()
+                return shard, stamp(), started
+            """,
+        )
+        findings = _findings(tmp_path, "worker-wall-clock")
+        assert len(findings) == 1
+        assert findings[0].path.endswith("pool.py")
+
+    def test_predicate(self):
+        from repro.checks.determinism import is_sanctioned_telemetry
+
+        assert is_sanctioned_telemetry("repro.obs")
+        assert is_sanctioned_telemetry("repro.obs.trace")
+        assert not is_sanctioned_telemetry("repro.observability")
+        assert not is_sanctioned_telemetry("repro.core.executor")
+
+
 class TestWorkerUnpicklable:
     def test_lambda_at_submit_fires(self, write_module, tmp_path):
         write_module(

@@ -185,17 +185,20 @@ class TestChaosSpec:
 class TestShardValidation:
     def test_accepts_sound_payload(self, serial):
         sites = [(0, 0), (0, 1)]
-        payload = [serial.result_at(r, c) for r, c in sites]
+        payload = ([serial.result_at(r, c) for r, c in sites], [])
         assert _validate_shard(payload, sites) is None
 
     def test_rejects_wrong_length_and_type(self, serial):
         assert "malformed" in _validate_shard(None, [(0, 0)])
+        # The pre-obs payload shape (a bare results list) is malformed now.
         assert "malformed" in _validate_shard([], [(0, 0)])
-        problem = _validate_shard([{"mangled": True}], [(0, 0)])
+        assert "malformed" in _validate_shard(([], "events"), [(0, 0)])
+        assert "malformed" in _validate_shard(([], []), [(0, 0)])
+        problem = _validate_shard(([{"mangled": True}], []), [(0, 0)])
         assert "not an experiment result" in problem
 
     def test_rejects_mismatched_site(self, serial):
-        problem = _validate_shard([serial.result_at(3, 3)], [(0, 0)])
+        problem = _validate_shard(([serial.result_at(3, 3)], []), [(0, 0)])
         assert "mismatched site" in problem
 
 

@@ -10,9 +10,14 @@ from repro.core.serialize import (
     campaign_to_dict,
     fault_dictionary,
     load_campaign,
+    load_metrics,
+    metrics_from_dict,
+    metrics_to_dict,
     save_campaign,
     save_fault_dictionary,
+    save_metrics,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.systolic import Dataflow, MeshConfig
 
 MESH = MeshConfig(4, 4)
@@ -44,6 +49,20 @@ class TestCampaignToDict:
         assert entry["num_corrupted"] == 4
         assert len(entry["corrupted_cells"]) == 4
 
+    def test_no_telemetry_key_on_unobserved_runs(self, ws_result):
+        assert ws_result.telemetry is None
+        assert "telemetry" not in campaign_to_dict(ws_result)
+
+    def test_telemetry_section_serialised_when_present(self, ws_result):
+        telemetry = {"elapsed_seconds": 1.5, "sites": 16, "retries": 0}
+        ws_result.telemetry = telemetry
+        try:
+            data = campaign_to_dict(ws_result)
+            assert data["telemetry"] == telemetry
+            assert json.loads(json.dumps(data))["telemetry"] == telemetry
+        finally:
+            ws_result.telemetry = None  # module-scoped fixture: restore
+
     def test_without_patterns(self):
         result = Campaign(
             MESH,
@@ -67,6 +86,40 @@ class TestSaveLoad:
         path.write_text(json.dumps({"schema_version": 999}))
         with pytest.raises(ValueError):
             load_campaign(path)
+
+
+class TestMetricsCodec:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_sites_total", "Sites.").set(16)
+        registry.counter("repro_sites_completed_total", "Done.").inc(16)
+        registry.histogram("repro_shard_seconds", "Latency.").observe(0.25)
+        return registry
+
+    def test_envelope(self):
+        data = metrics_to_dict(self._registry())
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["kind"] == "metrics-snapshot"
+        assert json.loads(json.dumps(data)) == data
+
+    def test_round_trip_restores_values(self):
+        restored = metrics_from_dict(metrics_to_dict(self._registry()))
+        assert restored.value("repro_sites_total") == 16.0
+        assert restored.value("repro_sites_completed_total") == 16.0
+        assert restored.histogram_at("repro_shard_seconds").count == 1
+
+    def test_save_and_load(self, tmp_path):
+        path = save_metrics(self._registry(), tmp_path / "metrics.json")
+        restored = load_metrics(path)
+        assert restored.snapshot() == self._registry().snapshot()
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(ValueError):
+            metrics_from_dict({"schema_version": SCHEMA_VERSION, "kind": "campaign", "metrics": []})
+
+    def test_rejects_unknown_schema(self):
+        with pytest.raises(ValueError):
+            metrics_from_dict({"schema_version": 999, "kind": "metrics-snapshot", "metrics": []})
 
 
 class TestFaultDictionary:

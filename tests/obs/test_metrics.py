@@ -1,0 +1,197 @@
+"""Metric instruments, Prometheus exposition, and the snapshot codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+)
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+    def test_histogram_cumulative_buckets(self):
+        histogram = Histogram(buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 3.0, 7.0, 100.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 2, 3]  # cumulative, +Inf is count
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(110.5)
+
+    def test_histogram_rejects_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_histogram_percentile_interpolates(self):
+        histogram = Histogram(buckets=(1.0, 2.0))
+        for _ in range(10):
+            histogram.observe(1.5)
+        assert 1.0 <= histogram.percentile(0.5) <= 2.0
+        assert histogram.percentile(0.0) == 0.0 or histogram.percentile(0.0) <= 2.0
+
+    def test_histogram_percentile_bounds(self):
+        histogram = Histogram()
+        assert histogram.percentile(0.5) == 0.0  # no observations yet
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_events_total", "Events.")
+        first.inc()
+        second = registry.counter("repro_events_total")
+        assert first is second
+        assert registry.value("repro_events_total") == 1.0
+
+    def test_labels_key_distinct_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_failures_total", kind="timeout").inc()
+        registry.counter("repro_failures_total", kind="crash").inc(2)
+        assert registry.value("repro_failures_total", kind="timeout") == 1.0
+        assert registry.value("repro_failures_total", kind="crash") == 2.0
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_thing")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_thing")
+
+    def test_value_of_absent_metric_is_zero(self):
+        assert MetricsRegistry().value("repro_never_touched") == 0.0
+
+    def test_value_of_histogram_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_latency_seconds")
+        with pytest.raises(ValueError, match="histogram"):
+            registry.value("repro_latency_seconds")
+
+    def test_histogram_at(self):
+        registry = MetricsRegistry()
+        assert registry.histogram_at("repro_latency_seconds") is None
+        histogram = registry.histogram("repro_latency_seconds")
+        assert registry.histogram_at("repro_latency_seconds") is histogram
+        registry.counter("repro_count_total")
+        with pytest.raises(ValueError):
+            registry.histogram_at("repro_count_total")
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.gauge("repro_sites_total", "Sites in the sweep.").set(256)
+    registry.counter("repro_sites_completed_total", "Completed sites.").inc(256)
+    registry.counter("repro_shard_failures_total", "Failures.", kind="timeout").inc()
+    histogram = registry.histogram("repro_shard_seconds", "Shard latency.")
+    for value in (0.003, 0.07, 0.4, 2.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestSnapshotCodec:
+    def test_round_trip_preserves_everything(self):
+        original = _populated_registry()
+        restored = MetricsRegistry.from_snapshot(original.snapshot())
+        assert restored.snapshot() == original.snapshot()
+        assert restored.value("repro_sites_total") == 256.0
+        assert restored.value("repro_shard_failures_total", kind="timeout") == 1.0
+        histogram = restored.histogram_at("repro_shard_seconds")
+        assert histogram is not None
+        assert histogram.count == 4
+        assert histogram.buckets == DEFAULT_BUCKETS
+        # The restored exposition is byte-identical too.
+        assert restored.render_prometheus() == original.render_prometheus()
+
+    def test_snapshot_is_json_compatible_and_sorted(self):
+        import json
+
+        snapshot = _populated_registry().snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        names = [entry["name"] for entry in snapshot]
+        assert names == sorted(names)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric kind"):
+            MetricsRegistry.from_snapshot(
+                [{"name": "x", "kind": "summary", "labels": {}, "value": 1}]
+            )
+
+
+class TestPrometheusExposition:
+    def test_render_parses_back(self):
+        text = _populated_registry().render_prometheus()
+        samples = parse_prometheus(text)
+        assert samples["repro_sites_total"] == 256.0
+        assert samples['repro_shard_failures_total{kind="timeout"}'] == 1.0
+        assert samples["repro_shard_seconds_count"] == 4.0
+        assert samples['repro_shard_seconds_bucket{le="+Inf"}'] == 4.0
+
+    def test_histogram_buckets_are_cumulative_in_text(self):
+        text = _populated_registry().render_prometheus()
+        samples = parse_prometheus(text)
+        bucket_values = [
+            value
+            for line, value in sorted(samples.items())
+            if line.startswith("repro_shard_seconds_bucket")
+        ]
+        assert all(b >= 0 for b in bucket_values)
+        assert max(bucket_values) == samples["repro_shard_seconds_count"]
+
+    def test_help_and_type_comments_present(self):
+        text = _populated_registry().render_prometheus()
+        assert "# HELP repro_sites_total Sites in the sweep." in text
+        assert "# TYPE repro_sites_total gauge" in text
+        assert "# TYPE repro_shard_seconds histogram" in text
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "# BOGUS comment line",
+            "# TYPE repro_x weird",
+            "repro_x{unbalanced 1.0",
+            "repro_x not_a_number",
+            "just-one-token",
+        ],
+    )
+    def test_parser_rejects_malformed_lines(self, bad):
+        with pytest.raises(ValueError):
+            parse_prometheus(bad)
+
+    def test_parser_accepts_blank_lines(self):
+        assert parse_prometheus("\n\nrepro_x 1.0\n") == {"repro_x": 1.0}
+
+
+class TestNullMetrics:
+    def test_everything_is_a_noop_singleton(self):
+        counter = NULL_METRICS.counter("repro_anything_total", "ignored")
+        counter.inc()
+        counter.inc(100)
+        gauge = NULL_METRICS.gauge("repro_g")
+        gauge.set(5)
+        gauge.dec()
+        histogram = NULL_METRICS.histogram("repro_h")
+        histogram.observe(1.0)
+        assert counter is gauge is histogram  # one shared null instrument
+        assert NULL_METRICS.value("repro_anything_total") == 0.0
+        assert NULL_METRICS.armed is False

@@ -1,0 +1,125 @@
+"""Progress-line anatomy, ETA formatting, and the Observability bundle."""
+
+from __future__ import annotations
+
+import io
+import re
+
+from repro.obs import NULL_OBS, MetricsRegistry, Observability, TraceRecorder
+from repro.obs.progress import ProgressReporter, format_eta
+
+
+class TestFormatEta:
+    def test_plain_rendering(self):
+        assert format_eta(0) == "0:00:00"
+        assert format_eta(59.6) == "0:01:00"  # rounds to nearest second
+        assert format_eta(3723) == "1:02:03"
+
+    def test_unknown_values(self):
+        assert format_eta(-1) == "--:--:--"
+        assert format_eta(float("inf")) == "--:--:--"
+        assert format_eta(float("nan")) == "--:--:--"
+
+
+#: The documented line shape (docs/observability.md anatomy section).
+LINE_RE = re.compile(
+    r"^(?P<label>\S+)  (?P<done>\d+)/(?P<total>\d+) \((?P<pct>\d+\.\d)%\)  "
+    r"(?P<rate>\d+\.\d) sites/s  ETA (?P<eta>[\d:]+|--:--:--)  "
+    r"retries (?P<retries>\d+)  quarantined (?P<quarantined>\d+)$"
+)
+
+
+class TestProgressReporter:
+    def _reporter(self):
+        stream = io.StringIO()
+        return ProgressReporter(stream=stream, min_interval=0.0), stream
+
+    def test_line_anatomy(self):
+        reporter, _ = self._reporter()
+        reporter.begin(256)
+        reporter.advance(12)
+        match = LINE_RE.match(reporter.line())
+        assert match, reporter.line()
+        assert match["label"] == "campaign"
+        assert match["done"] == "12"
+        assert match["total"] == "256"
+
+    def test_counts_accumulate(self):
+        reporter, _ = self._reporter()
+        reporter.begin(16)
+        reporter.advance(4)
+        reporter.note_retry()
+        reporter.note_quarantine(2)
+        match = LINE_RE.match(reporter.line())
+        assert match["retries"] == "1"
+        assert match["quarantined"] == "2"
+
+    def test_resume_seeds_done_but_not_rate(self):
+        # Restored sites count toward done/total, not toward sites/s.
+        reporter, _ = self._reporter()
+        reporter.begin(100, done=40)
+        assert LINE_RE.match(reporter.line())["done"] == "40"
+        assert reporter.rate() == 0.0
+        reporter.advance(10)
+        assert reporter.rate() > 0.0
+
+    def test_writes_carriage_return_refresh_and_final_newline(self):
+        reporter, stream = self._reporter()
+        reporter.begin(4)
+        reporter.advance(4)
+        reporter.finish()
+        output = stream.getvalue()
+        assert output.startswith("\r\x1b[2K")
+        assert output.endswith("\n")
+        assert "4/4 (100.0%)" in output
+
+    def test_finish_is_idempotent(self):
+        reporter, stream = self._reporter()
+        reporter.begin(1)
+        reporter.finish()
+        length = len(stream.getvalue())
+        reporter.finish()  # inactive: no further writes
+        assert len(stream.getvalue()) == length
+
+    def test_throttling(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, min_interval=3600.0)
+        reporter.begin(100)  # forced render
+        first = len(stream.getvalue())
+        for _ in range(50):
+            reporter.advance()  # all inside the throttle window
+        assert len(stream.getvalue()) == first
+
+
+class TestObservabilityBundle:
+    def test_null_bundle_is_unarmed(self):
+        assert NULL_OBS.armed is False
+        assert NULL_OBS.telemetry(1.0, 16) is None
+
+    def test_any_pillar_arms(self):
+        assert Observability(recorder=TraceRecorder()).armed
+        assert Observability(metrics=MetricsRegistry()).armed
+        assert Observability(progress=ProgressReporter(stream=io.StringIO())).armed
+
+    def test_telemetry_summary(self):
+        metrics = MetricsRegistry()
+        metrics.counter("repro_sites_completed_total").inc(8)
+        metrics.counter("repro_golden_cache_hits_total").inc(3)
+        metrics.counter("repro_golden_cache_misses_total").inc(1)
+        metrics.counter("repro_shard_retries_total").inc(2)
+        metrics.counter("repro_quarantined_sites_total").inc(1)
+        telemetry = Observability(metrics=metrics).telemetry(2.0, 8)
+        assert telemetry == {
+            "elapsed_seconds": 2.0,
+            "sites": 8,
+            "sites_completed": 8,
+            "sites_per_second": 4.0,
+            "golden_cache_hit_rate": 0.75,
+            "retries": 2,
+            "quarantined": 1,
+        }
+
+    def test_telemetry_handles_zero_denominators(self):
+        telemetry = Observability(metrics=MetricsRegistry()).telemetry(0.0, 0)
+        assert telemetry["sites_per_second"] == 0.0
+        assert telemetry["golden_cache_hit_rate"] == 0.0

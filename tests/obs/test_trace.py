@@ -1,0 +1,162 @@
+"""Span recorder and Chrome trace-event codec."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+class TestTraceRecorder:
+    def test_span_records_complete_event(self):
+        recorder = TraceRecorder()
+        with recorder.span("work", cat="test", shard=3):
+            pass
+        (event,) = recorder.events()
+        assert event["name"] == "work"
+        assert event["cat"] == "test"
+        assert event["ph"] == "X"
+        assert event["pid"] == os.getpid()
+        assert event["tid"] == threading.get_ident()
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+        assert event["args"] == {"shard": 3}
+
+    def test_span_without_args_omits_args_key(self):
+        recorder = TraceRecorder()
+        with recorder.span("bare"):
+            pass
+        (event,) = recorder.events()
+        assert "args" not in event
+        assert event["cat"] == "repro"  # default category
+
+    def test_nested_spans_are_ordered_inner_first(self):
+        # The inner span closes first, so it is appended first; both land
+        # on the same timeline and the outer interval contains the inner.
+        recorder = TraceRecorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        inner, outer = recorder.events()
+        assert inner["name"] == "inner"
+        assert outer["name"] == "outer"
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_instant_event(self):
+        recorder = TraceRecorder()
+        recorder.instant("marker", cat="test", kind="checkpoint")
+        (event,) = recorder.events()
+        assert event["ph"] == "i"
+        assert event["s"] == "p"
+        assert "dur" not in event
+        assert event["args"] == {"kind": "checkpoint"}
+
+    def test_drain_clears_and_ingest_adopts(self):
+        worker = TraceRecorder()
+        with worker.span("shard.run"):
+            pass
+        shipped = worker.drain()
+        assert len(shipped) == 1
+        assert worker.events() == []
+
+        parent = TraceRecorder()
+        with parent.span("campaign.execute"):
+            pass
+        parent.ingest(shipped)
+        names = {event["name"] for event in parent.events()}
+        assert names == {"campaign.execute", "shard.run"}
+
+    def test_events_returns_a_copy(self):
+        recorder = TraceRecorder()
+        recorder.instant("once")
+        snapshot = recorder.events()
+        snapshot.clear()
+        assert len(recorder.events()) == 1
+
+    def test_armed(self):
+        assert TraceRecorder().armed is True
+
+
+class TestNullRecorder:
+    def test_everything_is_a_noop(self):
+        null = NullRecorder()
+        with null.span("work", cat="x", key="v") as span:
+            pass
+        null.instant("marker")
+        null.ingest([{"name": "foreign"}])
+        assert null.drain() == []
+        assert null.events() == []
+        assert null.armed is False
+        # The span context manager is the shared singleton — no per-call
+        # allocation on the disabled path.
+        assert null.span("again") is span
+
+    def test_shared_singleton(self):
+        assert NULL_RECORDER.armed is False
+        assert NULL_RECORDER.span("a") is NULL_RECORDER.span("b")
+
+
+class TestChromeTraceCodec:
+    def _events(self):
+        recorder = TraceRecorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        recorder.instant("mark")
+        return recorder.events()
+
+    def test_to_chrome_trace_shape_and_order(self):
+        data = to_chrome_trace(reversed(self._events()))
+        assert set(data) == {"traceEvents", "displayTimeUnit"}
+        timestamps = [event["ts"] for event in data["traceEvents"]]
+        assert timestamps == sorted(timestamps)
+
+    def test_round_trip_through_json_validates(self):
+        data = json.loads(json.dumps(to_chrome_trace(self._events())))
+        assert validate_chrome_trace(data) == []
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = write_chrome_trace(self._events(), tmp_path / "trace.json")
+        data = json.loads(path.read_text())
+        assert validate_chrome_trace(data) == []
+        assert len(data["traceEvents"]) == 3
+
+
+class TestValidateChromeTrace:
+    def test_rejects_non_dict_root(self):
+        assert validate_chrome_trace([1, 2]) != []
+        assert validate_chrome_trace(None) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({"displayTimeUnit": "ms"}) != []
+
+    @pytest.mark.parametrize("field", ["name", "ph", "ts", "pid", "tid"])
+    def test_rejects_missing_required_field(self, field):
+        event = {"name": "e", "ph": "i", "ts": 1, "pid": 1, "tid": 1}
+        del event[field]
+        problems = validate_chrome_trace({"traceEvents": [event]})
+        assert any(repr(field) in p for p in problems)
+
+    def test_rejects_unknown_phase(self):
+        event = {"name": "e", "ph": "Z", "ts": 1, "pid": 1, "tid": 1}
+        assert validate_chrome_trace({"traceEvents": [event]}) != []
+
+    def test_rejects_negative_ts(self):
+        event = {"name": "e", "ph": "i", "ts": -5, "pid": 1, "tid": 1}
+        assert validate_chrome_trace({"traceEvents": [event]}) != []
+
+    def test_rejects_complete_event_without_duration(self):
+        event = {"name": "e", "ph": "X", "ts": 1, "pid": 1, "tid": 1}
+        assert validate_chrome_trace({"traceEvents": [event]}) != []

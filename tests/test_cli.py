@@ -76,6 +76,20 @@ class TestParser:
         assert excinfo.value.code == 2
         assert argv[1] in capsys.readouterr().err
 
+    @pytest.mark.parametrize("command", ["campaign", "study"])
+    def test_obs_flags_parse_with_defaults(self, command):
+        args = build_parser().parse_args([command])
+        assert args.trace is None
+        assert args.metrics is None
+        assert args.progress is False
+        args = build_parser().parse_args(
+            [command, "--trace", "t.json", "--metrics", "m.prom",
+             "--progress"]
+        )
+        assert args.trace == "t.json"
+        assert args.metrics == "m.prom"
+        assert args.progress is True
+
 
 class TestCampaignCommand:
     def test_gemm_campaign_summary(self, capsys):
@@ -177,6 +191,63 @@ class TestCampaignCommand:
         assert code == 2
         assert "error" in capsys.readouterr().err
 
+    def test_obs_artifacts_written_serial(self, tmp_path, capsys):
+        from repro.obs import parse_prometheus, validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            ["campaign", "--rows", "4", "--cols", "4", "--size", "4",
+             "--trace", str(trace_path), "--metrics", str(metrics_path),
+             "--progress"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert validate_chrome_trace(json.loads(trace_path.read_text())) == []
+        samples = parse_prometheus(metrics_path.read_text())
+        assert samples["repro_sites_completed_total"] == 16.0
+        assert "telemetry" in captured.out
+        assert "16/16 (100.0%)" in captured.err  # the progress line
+
+    def test_obs_artifacts_written_parallel(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            ["campaign", "--rows", "4", "--cols", "4", "--size", "4",
+             "-j", "2", "--trace", str(trace_path)]
+        )
+        assert code == 0
+        data = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(data) == []
+        names = {event["name"] for event in data["traceEvents"]}
+        assert "shard.run" in names  # worker-side spans made it across
+
+    def test_metrics_json_suffix_writes_snapshot(self, tmp_path, capsys):
+        from repro.core.serialize import load_metrics
+
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            ["campaign", "--rows", "4", "--cols", "4", "--size", "4",
+             "--metrics", str(metrics_path)]
+        )
+        assert code == 0
+        restored = load_metrics(metrics_path)
+        assert restored.value("repro_sites_completed_total") == 16.0
+
+    def test_obs_flags_do_not_change_the_summary_body(self, capsys):
+        # Identical summary modulo the telemetry lines and artifact notes.
+        argv = ["campaign", "--rows", "4", "--cols", "4", "--size", "4"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--progress"]) == 0
+        observed = capsys.readouterr().out
+        stripped = "\n".join(
+            line for line in observed.splitlines()
+            if "telemetry" not in line and "retries" not in line
+        )
+        assert stripped.strip() == plain.strip()
+
 
 class TestPredictCommand:
     def test_prediction_rendering(self, capsys):
@@ -213,6 +284,25 @@ class TestStudyCommand:
         code = main(["study", "--fast", "--markdown", str(path)])
         assert code == 0
         assert path.read_text().startswith("# Paper study report")
+
+    def test_obs_artifacts_cover_the_whole_grid(self, tmp_path, capsys):
+        from repro.obs import parse_prometheus, validate_chrome_trace
+
+        trace_path = tmp_path / "study.json"
+        metrics_path = tmp_path / "study.prom"
+        code = main(
+            ["study", "--fast", "--trace", str(trace_path),
+             "--metrics", str(metrics_path)]
+        )
+        assert code == 0
+        data = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(data) == []
+        executes = [
+            e for e in data["traceEvents"] if e["name"] == "campaign.execute"
+        ]
+        assert len(executes) > 1  # one per study configuration
+        samples = parse_prometheus(metrics_path.read_text())
+        assert samples["repro_sites_completed_total"] > 0
 
 
 class TestZooCommand:
