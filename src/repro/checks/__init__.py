@@ -14,7 +14,12 @@ them statically, at two granularities:
   :mod:`repro.checks.determinism` proves the parallel executor's
   worker-reachable code free of fork-safety hazards and
   :mod:`repro.checks.intervals` proves the MAC datapath's
-  INT8×INT8→INT32 bit-width contract by abstract interpretation.
+  INT8×INT8→INT32 bit-width contract by abstract interpretation;
+* **interprocedural dataflow passes** — :mod:`repro.checks.flow` is a
+  summary-based taint/escape engine over the same graph, powering the
+  exception-contract verifier (:mod:`repro.checks.contracts`), the
+  golden-purity taint proof (:mod:`repro.checks.purity`), and the
+  serialization schema-drift check (:mod:`repro.checks.schema`).
 
 Infrastructure: :mod:`repro.checks.cache` (incremental result cache and
 the ``lint_paths`` orchestrator), :mod:`repro.checks.baseline` (staged
@@ -57,6 +62,10 @@ from repro.checks.rules import (
     UnseededRandomRule,
     get_rule,
 )
+from repro.checks.contracts import CONTRACT_RULES, ExceptionContractRule
+from repro.checks.flow import BOTTOM, EscapeAnalysis, Fact, ForwardTaintAnalysis, Param
+from repro.checks.purity import PURITY_RULES, GoldenPurityRule
+from repro.checks.schema import SCHEMA_RULES, SchemaDriftRule
 from repro.checks.baseline import (
     apply_baseline,
     baseline_fingerprint,
@@ -90,6 +99,18 @@ __all__ = [
     "DataclassContractRule",
     "ALL_RULES",
     "get_rule",
+    # flow engine and passes
+    "BOTTOM",
+    "Fact",
+    "Param",
+    "ForwardTaintAnalysis",
+    "EscapeAnalysis",
+    "ExceptionContractRule",
+    "GoldenPurityRule",
+    "SchemaDriftRule",
+    "CONTRACT_RULES",
+    "PURITY_RULES",
+    "SCHEMA_RULES",
     # infrastructure
     "DEFAULT_CACHE_PATH",
     "LintCache",

@@ -159,12 +159,18 @@ def lint_paths(
     paths: Sequence[str | Path],
     cache_path: Path | str | None = DEFAULT_CACHE_PATH,
     use_cache: bool = True,
+    jobs: int | None = None,
 ) -> list[Finding]:
     """Run the full battery — per-file and whole-program — over ``paths``.
 
     With ``use_cache`` (and a writable ``cache_path``), per-file results
     are reused for unchanged files and project results for an unchanged
     file set; a fully warm run does no parsing at all.
+
+    ``jobs`` > 1 spreads the per-file battery over the stale files via a
+    process pool (:func:`repro.checks.engine.run_checks`); the
+    whole-program passes stay in-parent — they are one indivisible
+    graph-wide fixpoint, not a per-file map.
     """
     files = list(iter_python_files(paths))
     digests = {file: _file_digest(file) for file in files}
@@ -189,11 +195,21 @@ def lint_paths(
             findings.extend(cached)
         else:
             stale.append(file)
-    for file in stale:
-        file_findings = run_checks([file])
-        if cache is not None:
-            cache.store_file(keys[file], digests[file], file_findings)
-        findings.extend(file_findings)
+    if jobs is not None and jobs > 1 and len(stale) > 1:
+        by_path: dict[str, list[Finding]] = {}
+        for finding in run_checks(stale, jobs=jobs):
+            by_path.setdefault(finding.path, []).append(finding)
+        for file in stale:
+            file_findings = by_path.get(str(file), [])
+            if cache is not None:
+                cache.store_file(keys[file], digests[file], file_findings)
+            findings.extend(file_findings)
+    else:
+        for file in stale:
+            file_findings = run_checks([file])
+            if cache is not None:
+                cache.store_file(keys[file], digests[file], file_findings)
+            findings.extend(file_findings)
 
     project_findings = (
         cache.lookup_project(project_digest) if cache is not None else None

@@ -283,11 +283,20 @@ class ProjectRule(Rule):
 
 def project_rules() -> tuple["ProjectRule", ...]:
     """The default whole-program battery, in documentation order."""
-    # Imported lazily: both modules import this module at load time.
+    # Imported lazily: these modules import this module at load time.
+    from repro.checks.contracts import CONTRACT_RULES
     from repro.checks.determinism import DETERMINISM_RULES
     from repro.checks.intervals import INTERVAL_RULES
+    from repro.checks.purity import PURITY_RULES
+    from repro.checks.schema import SCHEMA_RULES
 
-    return (*DETERMINISM_RULES, *INTERVAL_RULES)
+    return (
+        *DETERMINISM_RULES,
+        *INTERVAL_RULES,
+        *CONTRACT_RULES,
+        *PURITY_RULES,
+        *SCHEMA_RULES,
+    )
 
 
 def rule_catalog() -> tuple[Rule, ...]:
@@ -326,14 +335,61 @@ def run_project_checks(
     return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
 
 
+def _check_single_file(path: str) -> list[Finding]:
+    """Pool worker for ``run_checks(jobs=N)``: default battery, one file.
+
+    Module-level so it pickles by reference; the rule battery is
+    constructed inside the worker process rather than shipped across the
+    pool, so rules never need to be picklable themselves.
+    """
+    return run_checks([path])
+
+
+def _run_checks_parallel(files: Sequence[Path], jobs: int) -> list[Finding] | None:
+    """Fan the per-file battery out over a process pool.
+
+    Returns None when the pool cannot be used (spawn failure, broken
+    pool) so the caller falls back to the serial path — a rule bug that
+    raises inside a worker is *not* treated as a pool failure and
+    propagates, the same as it would serially.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(files))) as pool:
+            batches = list(
+                pool.map(_check_single_file, [str(file) for file in files])
+            )
+    except (BrokenProcessPool, OSError):
+        return None
+    return sorted(
+        (finding for batch in batches for finding in batch),
+        key=lambda f: (f.path, f.line, f.col, f.rule),
+    )
+
+
 def run_checks(
-    paths: Sequence[str | Path], rules: Iterable[Rule] | None = None
+    paths: Sequence[str | Path],
+    rules: Iterable[Rule] | None = None,
+    jobs: int | None = None,
 ) -> list[Finding]:
     """Lint ``paths`` with ``rules`` (default: the full battery).
 
     Returns the unsuppressed findings sorted by (path, line, col, rule).
     Unparseable files become ``syntax-error`` findings instead of raising.
+
+    ``jobs`` > 1 runs the *default* battery over a process pool, one file
+    per task, and merges the (independent, per-file) results — the sort
+    makes the merge order-deterministic. Custom ``rules`` always run
+    serially: rule instances are not shipped across the pool.
     """
+    if rules is None and jobs is not None and jobs > 1:
+        files = list(iter_python_files(paths))
+        if len(files) > 1:
+            findings = _run_checks_parallel(files, jobs)
+            if findings is not None:
+                return findings
     if rules is None:
         # Imported lazily: rules.py imports this module at load time.
         from repro.checks.rules import ALL_RULES

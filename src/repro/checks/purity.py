@@ -1,0 +1,132 @@
+"""Golden-purity taint pass: fault state never reaches a golden run.
+
+The paper's entire methodology compares faulty outputs against a
+*golden* (fault-free) reference; every reliability number downstream is
+a function of that difference. The separation is therefore load-bearing:
+if fault state ever leaks into the golden computation slice, corruption
+patterns silently shrink and the taxonomy misclassifies. The dynamic
+side of this contract is pinned by tests; ``golden-purity`` is the
+static side — a whole-program taint proof.
+
+Mechanics (see :class:`repro.checks.flow.ForwardTaintAnalysis`):
+
+* **Sources** — constructing any fault descriptor: a class under
+  :data:`FAULT_MODULE_PREFIX` that defines ``apply`` (the fault-mask
+  hook). ``StuckAtFault``, ``TransientBitFlip``, ``BridgingFault`` and
+  friends qualify; inert carriers (``FaultSite``, ``FaultSet``,
+  ``FaultInjector``) do not — they become tainted only by *holding* a
+  tainted descriptor, which the constructor-argument propagation models.
+  ``apply()`` masks need no extra seeding: a mask's taint is its
+  receiver's taint, so a golden engine (built over the untainted
+  ``NO_FAULTS`` injector) stays provably clean even though golden and
+  faulty runs share every line of simulator code.
+* **Sinks** — the return value of every function named in
+  :data:`GOLDEN_ENTRY_NAMES` (``Campaign.golden_run``,
+  ``GoldenCache.golden_run``, and any future golden path adopting the
+  naming convention). The obligation: with untainted arguments, the
+  return fact contains no constant ``"fault"`` label.
+
+A finding is anchored at the first return statement whose fact carries
+the label, i.e. the exact point where faulty state exits into golden
+space.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.determinism import _short
+from repro.checks.engine import Finding, ProjectRule, Severity
+from repro.checks.flow import ForwardTaintAnalysis
+from repro.checks.graph import ProjectGraph
+
+__all__ = [
+    "FAULT_MODULE_PREFIX",
+    "GOLDEN_ENTRY_NAMES",
+    "TAINT_LABEL",
+    "fault_source_classes",
+    "golden_entries",
+    "GoldenPurityRule",
+    "PURITY_RULES",
+]
+
+#: Classes under this module prefix that define ``apply`` mint taint.
+FAULT_MODULE_PREFIX = "repro.faults"
+
+#: Function/method names whose return value is a golden sink.
+GOLDEN_ENTRY_NAMES = frozenset({"golden_run"})
+
+#: The taint label minted by fault-descriptor construction.
+TAINT_LABEL = "fault"
+
+
+def fault_source_classes(graph: ProjectGraph) -> frozenset[str]:
+    """Qualnames of the fault-descriptor classes (the taint sources)."""
+    sources = set()
+    for qual, cls in graph.classes.items():
+        mod_name = cls.module.name or cls.module.path.stem
+        if not (
+            mod_name == FAULT_MODULE_PREFIX
+            or mod_name.startswith(FAULT_MODULE_PREFIX + ".")
+        ):
+            continue
+        if "apply" in cls.methods:
+            sources.add(qual)
+    return frozenset(sources)
+
+
+def golden_entries(graph: ProjectGraph) -> tuple[str, ...]:
+    """Every golden-sink function in the project, sorted."""
+    return tuple(
+        sorted(
+            qual
+            for qual, info in graph.functions.items()
+            if info.name in GOLDEN_ENTRY_NAMES
+        )
+    )
+
+
+class GoldenPurityRule(ProjectRule):
+    """Fault taint must not reach the return of a golden entry."""
+
+    id = "golden-purity"
+    severity = Severity.ERROR
+    description = (
+        "fault-descriptor taint must never flow into a golden-run return "
+        "value: the paper's golden/faulty separation, proved statically "
+        "over the call graph"
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        entries = golden_entries(graph)
+        sources = fault_source_classes(graph)
+        if not entries or not sources:
+            return
+        analysis = ForwardTaintAnalysis(
+            graph, source_classes=sources, label=TAINT_LABEL
+        )
+        for qual in entries:
+            if TAINT_LABEL not in analysis.summary(qual):
+                continue
+            info = graph.functions[qual]
+            anchor: ast.AST = info.node
+            for node, fact in analysis.return_sites(qual):
+                if TAINT_LABEL in fact:
+                    anchor = node
+                    break
+            yield Finding(
+                path=str(info.module.path),
+                line=getattr(anchor, "lineno", 1),
+                col=getattr(anchor, "col_offset", 0),
+                rule=self.id,
+                severity=self.severity,
+                message=(
+                    f"fault-tainted value reaches the return of golden "
+                    f"entry {_short(qual)}: golden references must be "
+                    "computed fault-free (golden/faulty separation)"
+                ),
+            )
+
+
+PURITY_RULES: tuple[ProjectRule, ...] = (GoldenPurityRule(),)

@@ -1,0 +1,282 @@
+"""Serialization schema-drift pass: record writers and readers agree.
+
+Campaign resumability (``--resume``) and the archival artefacts rest on
+paired codec functions in :mod:`repro.core.serialize`: a *writer* builds
+a JSON-compatible dict (``experiment_record``, ``failure_record``,
+``metrics_to_dict``) and a *reader* rebuilds the object from it
+(``experiment_from_record``, ``failure_from_record``,
+``metrics_from_dict``). Nothing ties the two field sets together at
+runtime — a field renamed on one side is a ``KeyError`` the first time a
+checkpoint is actually resumed, which is precisely when data loss hurts
+most. ``schema-drift`` closes that gap statically.
+
+Pairing is by naming convention, project-wide:
+
+* ``<base>_record``      ↔ ``<base>_from_record``
+* ``<base>_to_dict``     ↔ ``<base>_from_dict``
+
+**Writer fields** are extracted from returned dict literals, including
+nested dicts as dotted paths (``"site.row"``), and from the local
+build-then-return idiom (``data = {...}``, ``data["key"] = ...``,
+``return data``). A writer whose payload cannot be proven (computed
+keys, ``**`` spreads, opaque return) opts the pair out rather than
+guessing.
+
+**Reader requirements** are the constant-key subscripts on the record
+parameter (the reader's first non-self argument) and on local aliases of
+its sub-dicts (``site = record["site"]; site["row"]``). ``.get(...)``
+reads are optional by definition and never required; aliases rooted in a
+``.get`` are likewise optional subtrees.
+
+A finding anchors at the reader's subscript: the reader requires a field
+the writer never writes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.determinism import _short
+from repro.checks.engine import Finding, ProjectRule, Severity
+from repro.checks.graph import FunctionInfo, ProjectGraph
+
+__all__ = [
+    "WRITER_READER_SUFFIXES",
+    "schema_pairs",
+    "writer_fields",
+    "reader_requirements",
+    "SchemaDriftRule",
+    "SCHEMA_RULES",
+]
+
+#: ``(writer suffix, reader suffix)`` naming conventions that pair codecs.
+WRITER_READER_SUFFIXES: tuple[tuple[str, str], ...] = (
+    ("_record", "_from_record"),
+    ("_to_dict", "_from_dict"),
+)
+
+
+def schema_pairs(
+    graph: ProjectGraph,
+) -> tuple[tuple[FunctionInfo, FunctionInfo], ...]:
+    """Every (writer, reader) codec pair, matched by naming convention.
+
+    A writer pairs with a reader in its own module first; if the module
+    has none, any project-wide match with the same base name is used.
+    Methods are excluded — codecs are module-level functions.
+    """
+    by_name: dict[str, list[FunctionInfo]] = {}
+    for info in graph.functions.values():
+        if info.class_name is None:
+            by_name.setdefault(info.name, []).append(info)
+    pairs: list[tuple[FunctionInfo, FunctionInfo]] = []
+    for name in sorted(by_name):
+        for writer_suffix, reader_suffix in WRITER_READER_SUFFIXES:
+            if not name.endswith(writer_suffix):
+                continue
+            base = name[: -len(writer_suffix)]
+            if not base or base.endswith("_from"):
+                continue
+            reader_name = base + reader_suffix
+            readers = by_name.get(reader_name)
+            if not readers:
+                continue
+            for writer in by_name[name]:
+                same_module = [
+                    r for r in readers if r.module.path == writer.module.path
+                ]
+                reader = min(
+                    same_module or readers, key=lambda r: str(r.module.path)
+                )
+                pairs.append((writer, reader))
+    return tuple(pairs)
+
+
+def _literal_paths(node: ast.Dict, prefix: str = "") -> set[str] | None:
+    """Dotted constant-key paths of a dict literal; None if unprovable."""
+    paths: set[str] = set()
+    for key, value in zip(node.keys, node.values):
+        if key is None:  # ``**spread`` — cannot prove the field set
+            return None
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        path = f"{prefix}{key.value}"
+        paths.add(path)
+        if isinstance(value, ast.Dict):
+            nested = _literal_paths(value, prefix=f"{path}.")
+            if nested is None:
+                return None
+            paths |= nested
+    return paths
+
+
+def writer_fields(info: FunctionInfo) -> set[str] | None:
+    """The dotted field paths a writer can emit; None if unprovable.
+
+    Two phases over the body (``ast.walk`` is breadth-first, so a
+    ``return`` can precede a conditionally-nested ``data[...] = ...`` in
+    walk order): first collect every tracked payload mutation, then
+    resolve the returns. The result is the *may-write* set — a
+    conditional field counts as written, which is the right direction
+    for a reader-requires ⊆ writer-writes check.
+    """
+    local: dict[str, set[str]] = {}
+    returned: set[str] = set()
+    saw_return = False
+    for node in ast.walk(info.node):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            if value is None:
+                continue
+            # ``data = {...}`` starts a tracked payload.
+            if isinstance(value, ast.Dict):
+                paths = _literal_paths(value)
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if paths is None:
+                            local[target.id] = set()
+                            local.pop(target.id)  # unprovable: untrack
+                        else:
+                            local[target.id] = set(paths)
+            # ``data["key"] = ...`` extends a tracked payload.
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in local
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    path = target.slice.value
+                    local[target.value.id].add(path)
+                    if isinstance(value, ast.Dict):
+                        nested = _literal_paths(value, prefix=f"{path}.")
+                        if nested is not None:
+                            local[target.value.id] |= nested
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Return) and node.value is not None:
+            saw_return = True
+            value = node.value
+            if isinstance(value, ast.Dict):
+                paths = _literal_paths(value)
+                if paths is None:
+                    return None
+                returned |= paths
+            elif isinstance(value, ast.Name) and value.id in local:
+                returned |= local[value.id]
+            else:
+                return None  # opaque return — cannot prove the field set
+    if not saw_return:
+        return None
+    return returned
+
+
+def _record_param(info: FunctionInfo) -> str | None:
+    args = info.node.args
+    for arg in [*args.posonlyargs, *args.args]:
+        if arg.arg in ("self", "cls"):
+            continue
+        return arg.arg
+    return None
+
+
+def reader_requirements(
+    info: FunctionInfo,
+) -> tuple[tuple[str, ast.AST], ...]:
+    """``(dotted path, anchor node)`` for each field the reader requires."""
+    param = _record_param(info)
+    if param is None:
+        return ()
+    #: local name -> dotted path it aliases; None marks an optional
+    #: subtree (rooted in a ``.get``) whose reads are never required.
+    aliases: dict[str, str | None] = {param: ""}
+
+    def resolve(expr: ast.expr) -> tuple[str | None, bool]:
+        """(dotted path of expr, known) — path None for optional roots."""
+        if isinstance(expr, ast.Name):
+            if expr.id in aliases:
+                return aliases[expr.id], True
+            return None, False
+        if (
+            isinstance(expr, ast.Subscript)
+            and isinstance(expr.slice, ast.Constant)
+            and isinstance(expr.slice.value, str)
+        ):
+            base, known = resolve(expr.value)
+            if not known:
+                return None, False
+            if base is None:
+                return None, True  # optional subtree
+            key = expr.slice.value
+            return (f"{base}.{key}" if base else key), True
+        return None, False
+
+    required: dict[str, ast.AST] = {}
+    for node in ast.walk(info.node):
+        # Local aliases: ``site = record["site"]`` / ``x = record.get(...)``.
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                value = node.value
+                path, known = resolve(value)
+                if known:
+                    aliases.setdefault(target.id, path)
+                elif (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "get"
+                    and resolve(value.func.value)[1]
+                ):
+                    aliases.setdefault(target.id, None)
+        elif isinstance(node, ast.Subscript):
+            path, known = resolve(node)
+            if known and path:
+                required.setdefault(path, node)
+    return tuple(sorted(required.items()))
+
+
+class SchemaDriftRule(ProjectRule):
+    """Paired record readers must only require fields writers emit."""
+
+    id = "schema-drift"
+    severity = Severity.ERROR
+    description = (
+        "a record reader requires a field its paired writer never writes "
+        "(writer/reader pairs matched by the *_record/*_from_record and "
+        "*_to_dict/*_from_dict naming conventions); such drift corrupts "
+        "checkpoint resume and archived artefacts"
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        for writer, reader in schema_pairs(graph):
+            written = writer_fields(writer)
+            if written is None:
+                continue  # unprovable payload: the pair opts out
+            #: every ancestor of a written path is also present
+            #: (``"site.row"`` implies ``"site"``).
+            closure = set(written)
+            for path in written:
+                while "." in path:
+                    path = path.rsplit(".", 1)[0]
+                    closure.add(path)
+            for path, anchor in reader_requirements(reader):
+                if path in closure:
+                    continue
+                yield Finding(
+                    path=str(reader.module.path),
+                    line=getattr(anchor, "lineno", 1),
+                    col=getattr(anchor, "col_offset", 0),
+                    rule=self.id,
+                    severity=self.severity,
+                    message=(
+                        f"reader {_short(reader.qualname)} requires field "
+                        f"{path!r} that writer {_short(writer.qualname)} "
+                        "never writes; align the codec pair (or read it "
+                        "with .get(...) if genuinely optional)"
+                    ),
+                )
+
+
+SCHEMA_RULES: tuple[ProjectRule, ...] = (SchemaDriftRule(),)

@@ -19,10 +19,13 @@ Four subcommands mirror the workflows of the paper:
 ``repro-fi lint``
     Run the repo's static analysis battery (:mod:`repro.checks`) over
     source paths: per-file invariant rules plus the whole-program
-    determinism and bit-width interval passes. Incremental by default
-    (``--no-cache`` disables), with ``--format sarif`` for code-scanning
-    upload, ``--baseline`` for staged adoption, and ``--graph-dump`` to
-    inspect the project call graph. Non-zero exit on findings.
+    determinism, bit-width interval, and dataflow/contract passes.
+    Incremental by default (``--no-cache`` disables), with ``--jobs/-j``
+    to fan the per-file battery over worker processes, ``--format
+    sarif`` for code-scanning upload, ``--baseline`` /
+    ``--fail-on new`` for staged adoption against a committed baseline,
+    and ``--graph-dump`` to inspect the project call graph. Non-zero
+    exit on findings.
 
 Examples
 --------
@@ -339,6 +342,14 @@ def build_parser() -> argparse.ArgumentParser:
         "only new findings fail the run",
     )
     lint.add_argument(
+        "--fail-on",
+        choices=("any", "new"),
+        default="any",
+        help="'any' (default) fails on every finding; 'new' fails only "
+        "on findings absent from the committed baseline "
+        "(lint-baseline.json unless --baseline names another file)",
+    )
+    lint.add_argument(
         "--update-baseline",
         action="store_true",
         help="write the current findings to --baseline and exit 0",
@@ -359,6 +370,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the project import/symbol/call graph as JSON to PATH "
         "('-' for stdout) and exit",
+    )
+    lint.add_argument(
+        "--jobs",
+        "-j",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the per-file rule battery "
+        "(whole-program passes always run in-parent; 1 = serial)",
     )
     return parser
 
@@ -603,28 +622,43 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             Path(args.graph_dump).write_text(dump + "\n")
             print(f"graph written to {args.graph_dump}")
         return 0
+    baseline_path = args.baseline
+    if args.fail_on == "new" and not baseline_path:
+        baseline_path = "lint-baseline.json"
+        if not args.update_baseline and not Path(baseline_path).is_file():
+            print(
+                "error: --fail-on new needs a committed baseline "
+                "(./lint-baseline.json not found; pass --baseline PATH or "
+                "create one with --update-baseline)",
+                file=sys.stderr,
+            )
+            return 2
     cache_path = args.cache_path or DEFAULT_CACHE_PATH
     try:
         findings = lint_paths(
-            paths, cache_path=cache_path, use_cache=not args.no_cache
+            paths,
+            cache_path=cache_path,
+            use_cache=not args.no_cache,
+            jobs=args.jobs,
         )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.update_baseline:
-        if not args.baseline:
+        if not baseline_path:
             print(
-                "error: --update-baseline requires --baseline PATH",
+                "error: --update-baseline requires --baseline PATH "
+                "(or --fail-on new for ./lint-baseline.json)",
                 file=sys.stderr,
             )
             return 2
-        write_baseline(args.baseline, findings)
+        write_baseline(baseline_path, findings)
         print(f"baseline of {len(findings)} finding(s) written to "
-              f"{args.baseline}")
+              f"{baseline_path}")
         return 0
-    if args.baseline:
+    if baseline_path:
         try:
-            baseline = load_baseline(args.baseline)
+            baseline = load_baseline(baseline_path)
         except (OSError, ValueError, KeyError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -632,7 +666,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for (b_path, b_rule, _), count in sorted(dangling.items()):
             print(
                 f"note: baseline entry no longer matches ({b_path} "
-                f"[{b_rule}] x{count}); remove it from {args.baseline}",
+                f"[{b_rule}] x{count}); remove it from {baseline_path}",
                 file=sys.stderr,
             )
     if args.format == "json":

@@ -16,7 +16,11 @@ Public API
 from repro.gemmini.accelerator import AcceleratorStats, GemminiAccelerator
 from repro.gemmini.performance import PerformanceEstimate, PerformanceModel
 from repro.gemmini.accumulator import AccumulatorMemory
-from repro.gemmini.controller import Controller, ControllerStats
+from repro.gemmini.controller import (
+    CommandProtocolError,
+    Controller,
+    ControllerStats,
+)
 from repro.gemmini.dma import DmaEngine, HostArray, HostMemory
 from repro.gemmini.isa import (
     Command,
@@ -35,6 +39,7 @@ __all__ = [
     "AcceleratorStats",
     "PerformanceModel",
     "PerformanceEstimate",
+    "CommandProtocolError",
     "Controller",
     "ControllerStats",
     "Scratchpad",

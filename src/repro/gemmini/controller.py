@@ -32,7 +32,17 @@ from repro.gemmini.isa import (
 from repro.gemmini.scratchpad import Scratchpad
 from repro.systolic.dataflow import Dataflow
 
-__all__ = ["ControllerStats", "Controller"]
+__all__ = ["CommandProtocolError", "ControllerStats", "Controller"]
+
+
+class CommandProtocolError(RuntimeError):
+    """A command stream violated the issue protocol (e.g. ``Compute``
+    without a ``Preload``, or compute before ``ConfigEx``).
+
+    A typed :class:`RuntimeError` subclass so campaign-side failure
+    attribution (``repro.core.resilience``) can name the violated
+    contract instead of quarantining an anonymous ``RuntimeError``.
+    """
 
 
 @dataclass
@@ -89,7 +99,9 @@ class Controller:
     def dataflow(self) -> Dataflow:
         """The configured dataflow; raises if no ``ConfigEx`` ran yet."""
         if self._dataflow is None:
-            raise RuntimeError("dataflow not configured (issue ConfigEx first)")
+            raise CommandProtocolError(
+                "dataflow not configured (issue ConfigEx first)"
+            )
         return self._dataflow
 
     # ------------------------------------------------------------------
@@ -161,7 +173,9 @@ class Controller:
 
     def _execute_compute(self, command: Compute) -> None:
         if self._pending is None:
-            raise RuntimeError("Compute issued without a preceding Preload")
+            raise CommandProtocolError(
+                "Compute issued without a preceding Preload"
+            )
         pending, self._pending = self._pending, None
         streamed = self.scratchpad.read_block(
             command.a_sp_row, command.a_rows, command.a_cols

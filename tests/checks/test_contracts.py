@@ -1,0 +1,137 @@
+"""Exception-contract pass: generic escapes fire, typed/absorbed do not."""
+
+from repro.checks.contracts import CONTRACT_RULES, contract_entries
+from repro.checks.engine import run_project_checks
+from repro.checks.graph import ProjectGraph
+
+
+def _findings(tmp_path):
+    return [
+        f
+        for f in run_project_checks([tmp_path], rules=CONTRACT_RULES)
+        if f.rule == "exception-contract"
+    ]
+
+
+class TestEntryDiscovery:
+    def test_worker_closure_and_executor_protocol(
+        self, write_module, tmp_path
+    ):
+        write_module(
+            "repro.core.exec",
+            """
+            def _run_shard(shard):
+                pass
+
+            class MyExecutor:
+                def execute(self, campaign, sites):
+                    pass
+            """,
+        )
+        write_module(
+            "repro.analysis.exec",
+            """
+            def execute(plan):  # outside repro.core: not an entry
+                pass
+            """,
+        )
+        graph = ProjectGraph.build([tmp_path])
+        entries = contract_entries(graph)
+        assert any(e.endswith("exec._run_shard") for e in entries)
+        assert any(e.endswith("MyExecutor.execute") for e in entries)
+        assert not any(e.startswith("repro.analysis") for e in entries)
+
+
+class TestExceptionContract:
+    def test_generic_raise_on_worker_path_fires_once(
+        self, write_module, tmp_path
+    ):
+        # The seeded violation of the PR acceptance bar: a bare
+        # RuntimeError two calls below a worker entry.
+        path = write_module(
+            "repro.core.bad",
+            """
+            def _run_shard(shard):
+                return step(shard)
+
+            def step(shard):
+                return deep(shard)
+
+            def deep(shard):
+                raise RuntimeError("anonymous failure")
+            """,
+        )
+        findings = _findings(tmp_path)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.path == str(path)
+        assert finding.line == 9  # the raise statement
+        assert "RuntimeError" in finding.message
+        assert "core.bad.deep" in finding.message
+        assert "core.bad._run_shard" in finding.message
+
+    def test_typed_taxonomy_raise_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.core.good",
+            """
+            class ShardCrash(RuntimeError):
+                '''Typed: attribution survives the subclass.'''
+
+            def _run_shard(shard):
+                raise ShardCrash(f"shard {shard} died")
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_specific_builtin_raise_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.core.valid",
+            """
+            def _run_shard(shard):
+                if shard < 0:
+                    raise ValueError("shard index must be >= 0")
+                return shard
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_absorbed_raise_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.core.caught",
+            """
+            def _run_shard(shard):
+                try:
+                    return flaky(shard)
+                except RuntimeError:
+                    return None
+
+            def flaky(shard):
+                raise RuntimeError("retried in-place")
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_unreachable_raise_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.core.offpath",
+            """
+            def _run_shard(shard):
+                return shard
+
+            def helper_nobody_calls():
+                raise RuntimeError("not on any campaign path")
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_suppression_applies_at_the_raise_site(
+        self, write_module, tmp_path
+    ):
+        write_module(
+            "repro.core.hushed",
+            """
+            def _run_shard(shard):
+                raise RuntimeError("known debt")  # repro: ignore[exception-contract]
+            """,
+        )
+        assert _findings(tmp_path) == []

@@ -184,3 +184,106 @@ class TestSerialisation:
         raw = graph.to_dict()
         assert "modules" in raw and "functions" in raw
         assert "repro.core.dump.f" in raw["functions"]
+
+
+class TestEdgeCases:
+    def test_decorated_function_is_collected_and_resolved(
+        self, write_module, tmp_path
+    ):
+        write_module(
+            "repro.core.deco",
+            """
+            import functools
+
+            @functools.lru_cache(maxsize=None)
+            def cached(x):
+                return x
+
+            def use():
+                return cached(3)
+            """,
+        )
+        graph = ProjectGraph.build([tmp_path])
+        assert "repro.core.deco.cached" in graph.functions
+        calls = graph.functions["repro.core.deco.use"].calls
+        assert any("repro.core.deco.cached" in site.targets for site in calls)
+
+    def test_lambda_callables_are_opaque_not_fatal(
+        self, write_module, tmp_path
+    ):
+        # A lambda body belongs to a scope the graph does not model: the
+        # call through it resolves to no targets, and a lambda handed to
+        # pool.submit contributes no worker entry — but neither crashes
+        # graph construction or reachability.
+        write_module(
+            "repro.core.lam",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def indirect():
+                f = lambda v: v + 1
+                return f(2)
+
+            def launch(pool: ProcessPoolExecutor):
+                pool.submit(lambda: 1)
+            """,
+        )
+        graph = ProjectGraph.build([tmp_path])
+        calls = graph.functions["repro.core.lam.indirect"].calls
+        assert all(site.targets == () for site in calls)
+        assert graph.reachable(["repro.core.lam.indirect"]) == {
+            "repro.core.lam.indirect": ("repro.core.lam.indirect",)
+        }
+
+    def test_method_resolution_through_dataclass_attribute(
+        self, write_module, tmp_path
+    ):
+        write_module(
+            "repro.core.holder",
+            """
+            from dataclasses import dataclass
+
+            class Engine:
+                def run(self):
+                    return 1
+
+            @dataclass
+            class Holder:
+                engine: Engine
+
+                def go(self):
+                    return self.engine.run()
+            """,
+        )
+        graph = ProjectGraph.build([tmp_path])
+        calls = graph.functions["repro.core.holder.Holder.go"].calls
+        assert any(
+            "repro.core.holder.Engine.run" in site.targets for site in calls
+        )
+
+    def test_call_cycle_reachability_terminates(
+        self, write_module, tmp_path
+    ):
+        write_module(
+            "repro.core.cycle",
+            """
+            def ping(n):
+                return pong(n)
+
+            def pong(n):
+                if n:
+                    return ping(n - 1)
+                return 0
+            """,
+        )
+        graph = ProjectGraph.build([tmp_path])
+        chains = graph.reachable(["repro.core.cycle.ping"])
+        assert set(chains) == {
+            "repro.core.cycle.ping",
+            "repro.core.cycle.pong",
+        }
+        # Shortest chains, not cycle-inflated ones.
+        assert chains["repro.core.cycle.pong"] == (
+            "repro.core.cycle.ping",
+            "repro.core.cycle.pong",
+        )

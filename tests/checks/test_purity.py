@@ -1,0 +1,139 @@
+"""Golden-purity pass: fault taint into a golden return fires, clean flows don't."""
+
+from repro.checks.engine import run_project_checks
+from repro.checks.graph import ProjectGraph
+from repro.checks.purity import (
+    PURITY_RULES,
+    fault_source_classes,
+    golden_entries,
+)
+
+#: A miniature repro.faults: one descriptor (a source — it has ``apply``)
+#: and one inert carrier (no ``apply`` — taint only via held descriptors).
+FAULTS = """
+    class StuckAt:
+        def __init__(self, bit):
+            self.bit = bit
+
+        def apply(self, value):
+            return value | (1 << self.bit)
+
+    class Injector:
+        def __init__(self, fault=None):
+            self.fault = fault
+"""
+
+
+def _findings(tmp_path):
+    return [
+        f
+        for f in run_project_checks([tmp_path], rules=PURITY_RULES)
+        if f.rule == "golden-purity"
+    ]
+
+
+class TestDiscovery:
+    def test_sources_are_apply_bearing_fault_classes(
+        self, write_module, tmp_path
+    ):
+        write_module("repro.faults.mini", FAULTS)
+        write_module(
+            "repro.core.camp",
+            """
+            def golden_run(workload):
+                return workload
+            """,
+        )
+        graph = ProjectGraph.build([tmp_path])
+        sources = fault_source_classes(graph)
+        assert any(q.endswith(".StuckAt") for q in sources)
+        assert not any(q.endswith(".Injector") for q in sources)
+        assert len(golden_entries(graph)) == 1
+
+
+class TestGoldenPurity:
+    def test_fault_leak_into_golden_return_fires_once(
+        self, write_module, tmp_path
+    ):
+        # The seeded violation of the PR acceptance bar: a golden run
+        # that builds its reference through a fault-armed injector.
+        write_module("repro.faults.mini", FAULTS)
+        path = write_module(
+            "repro.core.leak",
+            """
+            from repro.faults.mini import Injector, StuckAt
+
+            def golden_run(workload):
+                injector = Injector(StuckAt(bit=20))
+                return simulate(workload, injector)
+
+            def simulate(workload, injector):
+                return (workload, injector)
+            """,
+        )
+        findings = _findings(tmp_path)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.path == str(path)
+        assert finding.line == 6  # the tainted return statement
+        assert "golden" in finding.message
+
+    def test_shared_simulator_with_clean_injector_is_clean(
+        self, write_module, tmp_path
+    ):
+        # Golden and faulty paths share simulate(); only the golden one
+        # must stay clean — value taint, not reachability.
+        write_module("repro.faults.mini", FAULTS)
+        write_module(
+            "repro.core.shared",
+            """
+            from repro.faults.mini import Injector, StuckAt
+
+            NO_FAULTS = Injector()
+
+            def golden_run(workload):
+                return simulate(workload, NO_FAULTS)
+
+            def run_experiment(workload, bit):
+                return simulate(workload, Injector(StuckAt(bit=bit)))
+
+            def simulate(workload, injector):
+                return (workload, injector)
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_interprocedural_leak_through_helper_fires(
+        self, write_module, tmp_path
+    ):
+        write_module("repro.faults.mini", FAULTS)
+        write_module(
+            "repro.core.indirect",
+            """
+            from repro.faults.mini import StuckAt
+
+            def default_fault():
+                return StuckAt(bit=20)
+
+            def golden_run(workload):
+                reference = prepare(workload)
+                return reference
+
+            def prepare(workload):
+                return (workload, default_fault())
+            """,
+        )
+        assert len(_findings(tmp_path)) == 1
+
+    def test_suppression_applies(self, write_module, tmp_path):
+        write_module("repro.faults.mini", FAULTS)
+        write_module(
+            "repro.core.hushed",
+            """
+            from repro.faults.mini import StuckAt
+
+            def golden_run(workload):
+                return (workload, StuckAt(bit=0))  # repro: ignore[golden-purity]
+            """,
+        )
+        assert _findings(tmp_path) == []

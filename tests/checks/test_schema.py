@@ -1,0 +1,179 @@
+"""Schema-drift pass: writer/reader codec pairs must agree on fields."""
+
+from repro.checks.engine import run_project_checks
+from repro.checks.graph import ProjectGraph
+from repro.checks.schema import (
+    SCHEMA_RULES,
+    schema_pairs,
+    writer_fields,
+)
+
+
+def _findings(tmp_path):
+    return [
+        f
+        for f in run_project_checks([tmp_path], rules=SCHEMA_RULES)
+        if f.rule == "schema-drift"
+    ]
+
+
+def _info(graph, suffix):
+    matches = [i for q, i in graph.functions.items() if q.endswith(suffix)]
+    assert len(matches) == 1
+    return matches[0]
+
+
+class TestPairing:
+    def test_pairs_by_both_naming_conventions(self, write_module, tmp_path):
+        write_module(
+            "repro.core.codec",
+            """
+            def site_record(site):
+                return {"row": site.row}
+
+            def site_from_record(record):
+                return record["row"]
+
+            def metrics_to_dict(metrics):
+                return {"count": metrics.count}
+
+            def metrics_from_dict(record):
+                return record["count"]
+
+            def unpaired_record(x):
+                return {"a": 1}
+            """,
+        )
+        graph = ProjectGraph.build([tmp_path])
+        pairs = {
+            (w.name, r.name) for w, r in schema_pairs(graph)
+        }
+        assert pairs == {
+            ("site_record", "site_from_record"),
+            ("metrics_to_dict", "metrics_from_dict"),
+        }
+
+
+class TestWriterExtraction:
+    def test_nested_literals_and_build_then_return(
+        self, write_module, tmp_path
+    ):
+        write_module(
+            "repro.core.writer",
+            """
+            def experiment_record(e):
+                data = {"site": {"row": e.row, "col": e.col}}
+                data["classification"] = {"label": e.label}
+                if e.cells:
+                    data["cells"] = e.cells
+                return data
+
+            def opaque_record(e):
+                return e.to_dict()
+            """,
+        )
+        graph = ProjectGraph.build([tmp_path])
+        fields = writer_fields(_info(graph, ".experiment_record"))
+        assert fields == {
+            "site", "site.row", "site.col",
+            "classification", "classification.label", "cells",
+        }
+        # An opaque return means the field set is unprovable — the pair
+        # opts out instead of guessing.
+        assert writer_fields(_info(graph, ".opaque_record")) is None
+
+
+class TestSchemaDrift:
+    def test_reader_requiring_unwritten_field_fires_once(
+        self, write_module, tmp_path
+    ):
+        # The seeded violation of the PR acceptance bar: a reader that
+        # requires a field its paired writer never emits.
+        path = write_module(
+            "repro.core.drift",
+            """
+            def site_record(site):
+                return {"row": site.row, "col": site.col}
+
+            def site_from_record(record):
+                return (record["row"], record["col"], record["signal"])
+            """,
+        )
+        findings = _findings(tmp_path)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.path == str(path)
+        assert "'signal'" in finding.message
+        assert "site_record" in finding.message
+
+    def test_agreeing_pair_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.core.agree",
+            """
+            def site_record(site):
+                return {"row": site.row, "col": site.col}
+
+            def site_from_record(record):
+                return (record["row"], record["col"])
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_get_reads_are_optional(self, write_module, tmp_path):
+        write_module(
+            "repro.core.opt",
+            """
+            def site_record(site):
+                return {"row": site.row}
+
+            def site_from_record(record):
+                return (record["row"], record.get("legacy_field"))
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_alias_subscripts_resolve_to_nested_paths(
+        self, write_module, tmp_path
+    ):
+        write_module(
+            "repro.core.alias",
+            """
+            def exp_record(e):
+                return {"site": {"row": e.row}}
+
+            def exp_from_record(record):
+                site = record["site"]
+                return (site["row"], site["col"])
+            """,
+        )
+        findings = _findings(tmp_path)
+        assert len(findings) == 1
+        assert "'site.col'" in findings[0].message
+
+    def test_unprovable_writer_opts_the_pair_out(
+        self, write_module, tmp_path
+    ):
+        write_module(
+            "repro.core.optout",
+            """
+            def blob_record(blob):
+                return blob.to_dict()
+
+            def blob_from_record(record):
+                return record["anything"]
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_suppression_applies(self, write_module, tmp_path):
+        write_module(
+            "repro.core.hushed",
+            """
+            def site_record(site):
+                return {"row": site.row}
+
+            def site_from_record(record):
+                return record["ghost"]  # repro: ignore[schema-drift]
+            """,
+        )
+        assert _findings(tmp_path) == []

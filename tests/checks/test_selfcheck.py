@@ -4,8 +4,10 @@ This is the acceptance gate of the checks subsystem — every invariant rule
 runs over ``src/repro`` itself, so any future change that breaks a
 contract (a float in the datapath, a raw signal literal, an unseeded RNG,
 a drifting ``__all__``, an unfrozen contract dataclass, a fork-safety
-hazard on a worker path, a signal drive that escapes its width) fails the
-suite. True positives get fixed in-source, never baselined here.
+hazard on a worker path, a signal drive that escapes its width, a generic
+raise escaping to a campaign entry, fault taint reaching the golden
+slice, a drifting record codec pair) fails the suite. True positives get
+fixed in-source, never baselined here.
 """
 
 from pathlib import Path
@@ -42,6 +44,12 @@ def test_repository_lints_clean_full_battery():
     assert findings == [], "\n" + render_text(findings)
 
 
+def test_parallel_lint_matches_serial():
+    # ``--jobs`` must be a pure wall-clock knob: the pooled per-file
+    # battery merges to exactly the serial findings (here: none).
+    assert run_checks([PACKAGE_ROOT], jobs=2) == run_checks([PACKAGE_ROOT])
+
+
 def test_mac_drive_obligations_all_discharged():
     graph = ProjectGraph.build([PACKAGE_ROOT])
     findings, proofs = verify_intervals(graph)
@@ -74,5 +82,8 @@ def test_full_battery_ran():
         "worker-exception-swallow",
         "interval-escape",
         "mask-closure",
+        "exception-contract",
+        "golden-purity",
+        "schema-drift",
     }
     assert len(rule_catalog()) == len(ALL_RULES) + len(project_rules())

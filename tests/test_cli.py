@@ -1,6 +1,7 @@
 """Unit tests for the repro-fi command-line interface."""
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -375,6 +376,9 @@ class TestLintCommand:
             "worker-unpicklable",
             "interval-escape",
             "mask-closure",
+            "exception-contract",
+            "golden-purity",
+            "schema-drift",
         ):
             assert rule_id in out
         # Severity and scope columns are present, and output is sorted.
@@ -459,6 +463,70 @@ class TestLintCommand:
         code = main(["lint", str(target), "--cache-path", str(cache)])
         assert code == 0
         assert cache.exists()
+
+    def test_jobs_flag_matches_serial_run(self, tmp_path, capsys):
+        # Two files with one violation each: -j 2 must report exactly
+        # what a serial run reports, in the same order.
+        for stem in ("alpha", "beta"):
+            (tmp_path / f"{stem}.py").write_text(
+                "def orphan():\n    return 1\n"
+            )
+        code = main(["lint", str(tmp_path), "--no-cache"])
+        serial_out = capsys.readouterr().out
+        assert code == 1
+        code = main(["lint", str(tmp_path), "--no-cache", "-j", "2"])
+        parallel_out = capsys.readouterr().out
+        assert code == 1
+        assert parallel_out == serial_out
+
+    def test_jobs_flag_rejects_zero(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lint", "src/repro", "-j", "0"])
+
+    def test_fail_on_new_needs_committed_baseline(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("__all__ = []\n")
+        cwd = os.getcwd()
+        os.chdir(tmp_path)  # no lint-baseline.json here
+        try:
+            code = main(["lint", str(target), "--no-cache", "--fail-on", "new"])
+        finally:
+            os.chdir(cwd)
+        assert code == 2
+        assert "lint-baseline.json" in capsys.readouterr().err
+
+    def test_fail_on_new_gates_only_new_findings(self, tmp_path, capsys):
+        target = tmp_path / "loose.py"
+        target.write_text("def orphan():\n    return 1\n")
+        cwd = os.getcwd()
+        os.chdir(tmp_path)
+        try:
+            # Freeze the pre-existing finding into the default baseline...
+            code = main(
+                ["lint", str(target), "--no-cache",
+                 "--fail-on", "new", "--update-baseline"]
+            )
+            assert code == 0
+            assert (tmp_path / "lint-baseline.json").is_file()
+            # ...after which the run passes: nothing is new.
+            code = main(
+                ["lint", str(target), "--no-cache", "--fail-on", "new"]
+            )
+            captured = capsys.readouterr()
+            assert code == 0
+            assert "no findings" in captured.out
+            # A second, new violation still fails the run.
+            target.write_text(
+                "def orphan():\n    return 1\n\ndef stray():\n    return 2\n"
+            )
+            code = main(
+                ["lint", str(target), "--no-cache", "--fail-on", "new"]
+            )
+            captured = capsys.readouterr()
+        finally:
+            os.chdir(cwd)
+        assert code == 1
+        assert "export-hygiene" in captured.out
 
 
 class TestAtlasAndStatespace:
