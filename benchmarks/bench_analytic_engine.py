@@ -1,0 +1,144 @@
+"""Speedup and bit-identity of the analytic engine tier.
+
+The analytic tier's claim is two-sided: the exhaustive 16x16 paper sweep
+must be **bit-identical** to both simulators and at least **10x faster**
+than the functional engine. This bench is the exhaustive half of the
+differential harness (``tests/engines`` keeps the cycle engine affordable
+with a diagonal spot-check; here the cycle sweep runs all 256 sites once,
+since it is the expensive reference this tier exists to replace).
+
+Per dataflow (OS and WS — the paper's two schemes on GEMM):
+
+* time the 256-site serial sweep on the functional engine and on the
+  analytic engine, min-of-interleaved-repeats;
+* run the cycle engine once;
+* assert the three results identical experiment for experiment, pattern
+  for pattern;
+* assert ``functional / analytic >= 10``.
+
+Numbers land in ``BENCH_analytic_engine.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import Campaign, GemmWorkload
+from repro.core.executor import GOLDEN_CACHE
+from repro.core.serialize import SCHEMA_VERSION
+from repro.systolic import Dataflow, MeshConfig
+
+from _common import banner, run_once
+
+MESH = MeshConfig.paper()
+REPEATS = 5
+SPEEDUP_FLOOR = 10.0
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_analytic_engine.json"
+
+DATAFLOWS = (Dataflow.OUTPUT_STATIONARY, Dataflow.WEIGHT_STATIONARY)
+
+
+def make_campaign(dataflow: Dataflow, engine: str) -> Campaign:
+    workload = GemmWorkload.square(16, dataflow)
+    return Campaign(MESH, workload, engine=engine)
+
+
+def _assert_identical(reference, candidate) -> None:
+    """Field-for-field experiment identity (the differential contract)."""
+    assert reference.census() == candidate.census()
+    assert reference.sdc_rate() == candidate.sdc_rate()
+    assert reference.dominant_class() is candidate.dominant_class()
+    assert len(reference.experiments) == len(candidate.experiments)
+    for left, right in zip(reference.experiments, candidate.experiments):
+        assert left.site == right.site
+        assert left.classification == right.classification
+        assert left.num_corrupted == right.num_corrupted
+        assert left.max_abs_deviation == right.max_abs_deviation
+        assert np.array_equal(left.pattern.mask, right.pattern.mask)
+        assert np.array_equal(left.pattern.deviation, right.pattern.deviation)
+
+
+def _best_interleaved(fns, repeats: int = REPEATS):
+    """Min wall-clock and last result per function, measured round-robin
+    (same protocol as ``bench_obs_overhead``: interleaving exposes every
+    path to the same machine-wide slow phases)."""
+    best = [float("inf")] * len(fns)
+    results = [None] * len(fns)
+    for fn in fns:
+        fn()  # warmup
+    for _ in range(repeats):
+        for index, fn in enumerate(fns):
+            start = time.perf_counter()
+            results[index] = fn()
+            best[index] = min(best[index], time.perf_counter() - start)
+    return best, results
+
+
+def test_analytic_speedup(benchmark):
+    rows = []
+    for dataflow in DATAFLOWS:
+        for engine in ("functional", "cycle", "analytic"):
+            GOLDEN_CACHE.golden_run(make_campaign(dataflow, engine))
+
+        (functional_seconds, analytic_seconds), (functional, analytic) = (
+            _best_interleaved([
+                make_campaign(dataflow, "functional").run,
+                make_campaign(dataflow, "analytic").run,
+            ])
+        )
+        start = time.perf_counter()
+        cycle = make_campaign(dataflow, "cycle").run()
+        cycle_seconds = time.perf_counter() - start
+
+        _assert_identical(functional, analytic)
+        _assert_identical(cycle, analytic)
+        rows.append({
+            "dataflow": str(dataflow),
+            "functional_seconds": functional_seconds,
+            "cycle_seconds": cycle_seconds,
+            "analytic_seconds": analytic_seconds,
+            "speedup_vs_functional": functional_seconds / analytic_seconds,
+            "speedup_vs_cycle": cycle_seconds / analytic_seconds,
+        })
+
+    print(banner(
+        "Analytic engine — exhaustive 16x16 GEMM sweep (256 sites), "
+        "three-way bit-identical"
+    ))
+    print(
+        f"{'dataflow':>9}  {'functional':>10}  {'cycle':>8}  "
+        f"{'analytic':>8}  {'vs func':>8}  {'vs cycle':>8}"
+    )
+    for row in rows:
+        print(
+            f"{row['dataflow']:>9}  {row['functional_seconds']:>9.3f}s  "
+            f"{row['cycle_seconds']:>7.3f}s  {row['analytic_seconds']:>7.3f}s  "
+            f"{row['speedup_vs_functional']:>7.1f}x  "
+            f"{row['speedup_vs_cycle']:>7.1f}x"
+        )
+    print(f"speedup floor vs functional: {SPEEDUP_FLOOR}x")
+
+    ARTIFACT.write_text(json.dumps({
+        "schema_version": SCHEMA_VERSION,
+        "bench": "analytic_engine",
+        "mesh": f"{MESH.rows}x{MESH.cols}",
+        "sites": MESH.num_macs,
+        "repeats": REPEATS,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "sweeps": rows,
+    }, indent=2) + "\n")
+    print(f"written: {ARTIFACT.name}")
+
+    for row in rows:
+        assert row["speedup_vs_functional"] >= SPEEDUP_FLOOR, (
+            f"analytic sweep under {row['dataflow']} is only "
+            f"{row['speedup_vs_functional']:.1f}x the functional engine "
+            f"(floor {SPEEDUP_FLOOR}x); the closed form must amortise the "
+            f"per-site simulation away"
+        )
+
+    run_once(
+        benchmark, make_campaign(Dataflow.WEIGHT_STATIONARY, "analytic").run
+    )

@@ -234,6 +234,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--dataflow", choices=sorted(_DATAFLOWS), default="WS"
     )
+    campaign.add_argument(
+        "--engine",
+        choices=("functional", "cycle", "analytic"),
+        default="functional",
+        help="execution tier: functional simulator (default), "
+        "cycle-accurate reference, or closed-form analytic deltas "
+        "(bit-identical, batched)",
+    )
     campaign.add_argument("--bit", type=int, default=20, help="stuck bit")
     campaign.add_argument(
         "--stuck", type=int, choices=(0, 1), default=1, help="stuck value"
@@ -294,6 +302,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast",
         action="store_true",
         help="diagonal site sweep and no 112x112 configs",
+    )
+    study.add_argument(
+        "--engine",
+        choices=("functional", "cycle", "analytic"),
+        default="functional",
+        help="execution tier for every campaign of the grid",
     )
     study.add_argument("--markdown", help="write the report as markdown here")
     _add_jobs_flag(study)
@@ -419,9 +433,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     elif obs is not None:
         executor = SerialExecutor(obs=obs)
     try:
-        result = Campaign(mesh, workload, fault_spec=spec, sites=sites).run(
-            executor=executor
-        )
+        result = Campaign(
+            mesh, workload, fault_spec=spec, engine=args.engine, sites=sites
+        ).run(executor=executor)
     except CampaignInterrupted as exc:
         print(f"interrupted: {exc}", file=sys.stderr)
         if exc.checkpoint is not None:
@@ -510,6 +524,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         mesh=mesh,
         sites=sites,
         include_large=not args.fast,
+        engine=args.engine,
         jobs=args.jobs,
         shard_timeout=args.shard_timeout,
         max_retries=args.max_retries,

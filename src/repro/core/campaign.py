@@ -32,6 +32,7 @@ from repro.core.resilience import FailureRecord
 from repro.faults.injector import NO_FAULTS, FaultInjector
 from repro.faults.model import FaultDescriptor, FaultSet, StuckAtFault
 from repro.faults.sites import PAPER_FAULT_SIGNAL, FaultSite, signal_dtype
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.trace import NULL_RECORDER
 from repro.ops.conv import SystolicConv2d
 from repro.ops.gemm import TiledGemm
@@ -393,8 +394,12 @@ class Campaign:
     fault_spec:
         Fault signal/bit/polarity injected at every site.
     engine:
-        ``"functional"`` (default, fast, cross-validated) or ``"cycle"``
-        (the RTL-equivalent reference).
+        ``"functional"`` (default, fast, cross-validated), ``"cycle"``
+        (the RTL-equivalent reference), or ``"analytic"`` (closed-form
+        ``golden + delta`` evaluation, batched over sites — see
+        :mod:`repro.engines.analytic`; bit-identical to the other two
+        tiers, with per-site functional fallback for fault models the
+        delta algebra cannot cover).
     sites:
         MAC coordinates to inject into; defaults to every MAC unit
         (the paper's exhaustive 256-experiment sweep).
@@ -412,8 +417,11 @@ class Campaign:
         sites: Sequence[tuple[int, int]] | None = None,
         keep_patterns: bool = True,
     ) -> None:
-        if engine not in ("functional", "cycle"):
-            raise ValueError(f"engine must be 'functional' or 'cycle', got {engine!r}")
+        if engine not in ("functional", "cycle", "analytic"):
+            raise ValueError(
+                f"engine must be 'functional', 'cycle' or 'analytic', "
+                f"got {engine!r}"
+            )
         self.mesh = mesh
         self.workload = workload
         self.fault_spec = fault_spec
@@ -427,6 +435,8 @@ class Campaign:
 
     # ------------------------------------------------------------------
     def _make_engine(self, injector: FaultInjector, recorder=NULL_RECORDER):
+        # The analytic tier never simulates per site; its golden run and
+        # its per-site fallbacks both ride the functional engine.
         if self.engine_kind == "cycle":
             return CycleSimulator(self.mesh, injector=injector, recorder=recorder)
         return FunctionalSimulator(self.mesh, injector=injector)
@@ -481,6 +491,49 @@ class Campaign:
                 max_abs_deviation=pattern.max_abs_deviation,
                 pattern=pattern if self.keep_patterns else None,
             )
+
+    @property
+    def supports_batching(self) -> bool:
+        """Whether executors should hand this campaign whole site batches
+        (:meth:`run_batch`) instead of one site at a time.
+
+        True only for the analytic tier, whose per-experiment cost is
+        dominated by fixed setup that a batch amortises; the simulation
+        tiers gain nothing from batching and keep the per-site path.
+        """
+        return self.engine_kind == "analytic"
+
+    def run_batch(
+        self,
+        sites: Sequence[tuple[int, int]],
+        golden: np.ndarray,
+        plan: TilingPlan,
+        geometry: ConvGeometry | None,
+        recorder=NULL_RECORDER,
+        metrics=NULL_METRICS,
+    ) -> list[ExperimentResult]:
+        """Evaluate one FI experiment per site in a single batched pass.
+
+        The batched seam of the analytic tier: closed-form deltas for
+        every supported site are computed in a few vectorised passes
+        (:func:`repro.engines.analytic.engine.evaluate_batch`), and
+        sites whose fault the algebra cannot cover fall back to
+        :meth:`run_experiment` per site, counted on the
+        ``repro_analytic_fallback_total`` metric. The returned list is
+        in ``sites`` order and field-for-field identical to calling
+        :meth:`run_experiment` on each site.
+        """
+        from repro.engines.analytic.engine import evaluate_batch
+
+        return evaluate_batch(
+            self,
+            sites,
+            golden,
+            plan,
+            geometry,
+            recorder=recorder,
+            metrics=metrics,
+        )
 
     def run(self, executor: "CampaignExecutor | None" = None) -> CampaignResult:
         """Execute the golden run plus one FI experiment per site.

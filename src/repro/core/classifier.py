@@ -41,7 +41,13 @@ import numpy as np
 from repro.core.fault_patterns import FaultPattern
 from repro.ops.tiling import TilingPlan
 
-__all__ = ["PatternClass", "Classification", "classify_pattern", "classify_mask"]
+__all__ = [
+    "PatternClass",
+    "Classification",
+    "classify_cells",
+    "classify_pattern",
+    "classify_mask",
+]
 
 
 class PatternClass(enum.Enum):
@@ -97,8 +103,33 @@ def _tile_of(row: int, col: int, plan: TilingPlan) -> tuple[int, int, int, int]:
 def _classify_gemm(mask: np.ndarray, plan: TilingPlan) -> Classification:
     """Structural classification in GEMM output space."""
     rows, cols = np.where(mask)
+    return classify_cells(rows, cols, plan)
+
+
+def classify_cells(
+    rows: np.ndarray, cols: np.ndarray, plan: TilingPlan
+) -> Classification:
+    """Classify corrupted GEMM cell coordinates directly.
+
+    Identical rules to :func:`classify_mask`, minus the ``np.where`` —
+    for callers that already hold the corrupted coordinates, notably the
+    analytic engine, which extracts every site's nonzero cells from one
+    batched pass and classifies each site without re-scanning its mask.
+    """
     if rows.size == 0:
         return Classification(pattern_class=PatternClass.MASKED)
+
+    # One corrupted cell overall (the OS untiled signature) needs no set
+    # machinery; exhaustive OS sweeps hit this for every site.
+    if rows.size == 1:
+        m_tile, n_tile, local_row, local_col = _tile_of(
+            int(rows[0]), int(cols[0]), plan
+        )
+        return Classification(
+            pattern_class=PatternClass.SINGLE_ELEMENT,
+            corrupted_tiles=((m_tile, n_tile),),
+            local_cells=((local_row, local_col),),
+        )
 
     tiles: set[tuple[int, int]] = set()
     locals_: set[tuple[int, int]] = set()
@@ -112,10 +143,6 @@ def _classify_gemm(mask: np.ndarray, plan: TilingPlan) -> Classification:
         corrupted_tiles=tuple(sorted(tiles)),
         local_cells=tuple(sorted(locals_)),
     )
-
-    # One corrupted cell overall: the OS untiled signature.
-    if rows.size == 1:
-        return Classification(pattern_class=PatternClass.SINGLE_ELEMENT, **evidence)
 
     # One corrupted cell per tile, identical local coordinates: OS tiled.
     if len(locals_) == 1 and rows.size == len(tiles) and len(tiles) > 1:

@@ -104,6 +104,7 @@ from repro.ops.im2col import ConvGeometry
 from repro.ops.tiling import TilingPlan
 
 __all__ = [
+    "BATCHED_MIN_SHARD_SITES",
     "CampaignExecutor",
     "GoldenCache",
     "GOLDEN_CACHE",
@@ -170,20 +171,38 @@ class GoldenCache:
 GOLDEN_CACHE = GoldenCache()
 
 
+#: Minimum sites per shard when the campaign's engine evaluates whole
+#: batches (``Campaign.supports_batching``): a batched tier amortises
+#: per-batch setup (operand regeneration, tile walks) over the shard, so
+#: one- or two-site slivers would forfeit the batching win. Per-site
+#: engines keep the finest-grained split for load balance.
+BATCHED_MIN_SHARD_SITES = 8
+
+
 def shard_sites(
-    sites: Sequence[tuple[int, int]], num_shards: int
+    sites: Sequence[tuple[int, int]],
+    num_shards: int,
+    min_batch: int = 1,
 ) -> list[list[tuple[int, int]]]:
     """Split ``sites`` into at most ``num_shards`` contiguous chunks.
 
-    The split is a pure function of ``(len(sites), num_shards)``: chunk
-    boundaries never depend on timing or worker identity, so a sharded
-    sweep is replayable. Chunk sizes differ by at most one site.
+    The split is a pure function of ``(len(sites), num_shards,
+    min_batch)``: chunk boundaries never depend on timing or worker
+    identity, so a sharded sweep is replayable. Chunk sizes differ by at
+    most one site. ``min_batch`` lowers the effective shard count until
+    every chunk carries at least that many sites (when the site list is
+    large enough to allow it) — the granularity floor for batched engine
+    tiers (:data:`BATCHED_MIN_SHARD_SITES`).
     """
     if num_shards <= 0:
         raise ValueError(f"num_shards must be positive, got {num_shards}")
+    if min_batch <= 0:
+        raise ValueError(f"min_batch must be positive, got {min_batch}")
     total = len(sites)
     if total == 0:
         return []
+    if min_batch > 1:
+        num_shards = min(num_shards, max(1, total // min_batch))
     num_shards = min(num_shards, total)
     base, extra = divmod(total, num_shards)
     shards: list[list[tuple[int, int]]] = []
@@ -265,14 +284,26 @@ class SerialExecutor:
             if progress is not None:
                 progress.begin(len(campaign.sites))
             try:
-                for row, col in campaign.sites:
-                    completed[(row, col)] = campaign.run_experiment(
-                        row, col, golden, plan, geometry,
-                        recorder=obs.recorder,
+                if campaign.supports_batching:
+                    experiments = campaign.run_batch(
+                        campaign.sites, golden, plan, geometry,
+                        recorder=obs.recorder, metrics=obs.metrics,
                     )
-                    sites_done.inc()
+                    for experiment in experiments:
+                        site = (experiment.site.row, experiment.site.col)
+                        completed[site] = experiment
+                    sites_done.inc(len(experiments))
                     if progress is not None:
-                        progress.advance()
+                        progress.advance(len(experiments))
+                else:
+                    for row, col in campaign.sites:
+                        completed[(row, col)] = campaign.run_experiment(
+                            row, col, golden, plan, geometry,
+                            recorder=obs.recorder,
+                        )
+                        sites_done.inc()
+                        if progress is not None:
+                            progress.advance()
             finally:
                 if progress is not None:
                     progress.finish()
@@ -322,14 +353,29 @@ def _run_shard(
     mangled: list[int] = []
     results: list = []
     with recorder.span("shard.run", cat="worker", sites=len(shard)):
-        for index, (row, col) in enumerate(shard):
-            if chaos is not None and chaos.fire((row, col)):
-                mangled.append(index)
-            results.append(
-                campaign.run_experiment(
-                    row, col, golden, plan, geometry, recorder=recorder
+        if campaign.supports_batching:
+            # Chaos actions still fire per site (so raise/hang/exit
+            # schedules behave identically under batching), but the
+            # experiments themselves run as one vectorised batch.
+            # Workers evaluate with null metrics; the parent accounts
+            # for analytic fallbacks from the campaign spec instead.
+            for index, (row, col) in enumerate(shard):
+                if chaos is not None and chaos.fire((row, col)):
+                    mangled.append(index)
+            results = list(
+                campaign.run_batch(
+                    shard, golden, plan, geometry, recorder=recorder
                 )
             )
+        else:
+            for index, (row, col) in enumerate(shard):
+                if chaos is not None and chaos.fire((row, col)):
+                    mangled.append(index)
+                results.append(
+                    campaign.run_experiment(
+                        row, col, golden, plan, geometry, recorder=recorder
+                    )
+                )
     for index in mangled:  # an injected "corrupt" action fired
         results[index] = {"mangled": True}
     return results, recorder.drain()
@@ -440,7 +486,11 @@ class _ShardDispatcher:
         )
         self.stream = stream
         shards = shard_sites(
-            pending, executor.jobs * executor.shards_per_worker
+            pending,
+            executor.jobs * executor.shards_per_worker,
+            min_batch=(
+                BATCHED_MIN_SHARD_SITES if campaign.supports_batching else 1
+            ),
         )
         self.queue: deque[_ShardTask] = deque(
             _ShardTask(sites=shard) for shard in shards
@@ -1030,6 +1080,19 @@ class ParallelExecutor:
             obs.metrics.gauge(
                 "repro_sites_total", "Fault sites in the campaign sweep."
             ).set(len(campaign.sites))
+            if campaign.supports_batching and pending:
+                # Workers evaluate batches with null metrics (registries
+                # don't cross the process boundary), so the parent
+                # publishes the fallback count — a pure prediction from
+                # the campaign spec, identical to what the workers see.
+                from repro.engines.analytic.engine import (
+                    record_fallbacks,
+                    unsupported_sites,
+                )
+
+                record_fallbacks(
+                    obs.metrics, len(unsupported_sites(campaign, pending))
+                )
             if obs.progress is not None:
                 obs.progress.begin(
                     len(campaign.sites),

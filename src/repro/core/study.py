@@ -173,6 +173,11 @@ def run_paper_study(
     include_large:
         Whether to include the 112x112 configurations (the expensive part
         of RQ3).
+    engine:
+        Execution tier for every campaign of the grid: ``"functional"``
+        (default), ``"cycle"``, or ``"analytic"`` (closed-form batched
+        deltas — bit-identical report, fastest full grid; see
+        :mod:`repro.engines.analytic`).
     jobs:
         Worker-process count per campaign; ``1`` keeps the serial
         reference path, larger values shard each campaign's site sweep

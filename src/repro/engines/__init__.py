@@ -1,0 +1,19 @@
+"""``repro.engines`` — execution-engine tiers beyond the simulators.
+
+The two simulation engines live in :mod:`repro.systolic` (the
+cycle-accurate reference and the vectorised functional twin). This
+package hosts engine tiers that are *not* simulators:
+
+* :mod:`repro.engines.analytic` — the closed-form fault-delta engine:
+  each faulty output is computed as ``golden + delta`` from the paper's
+  determinism result, vectorised over batches of fault sites, with a
+  per-site fallback to the functional engine for fault models the
+  algebra cannot close over.
+
+Campaigns select a tier by name (``engine="functional" | "cycle" |
+"analytic"``); see :class:`repro.core.campaign.Campaign`.
+"""
+
+from __future__ import annotations
+
+__all__: list[str] = []

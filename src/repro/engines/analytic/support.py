@@ -1,0 +1,74 @@
+"""What the analytic delta algebra can (and cannot) close over.
+
+The closed forms in :mod:`repro.engines.analytic.algebra` are derived for
+exactly one fault model: a permanent :class:`~repro.faults.model.
+StuckAtFault` on one of the four MAC datapath signals, under the OS, WS,
+or IS dataflow. Everything else — transient windows, bridged wire pairs,
+user-defined ``apply()`` overrides — is declined with a typed
+:class:`AnalyticUnsupported` and evaluated by the functional engine
+instead, per site, so a campaign never silently computes a wrong delta.
+
+The predicate is deliberately a *whitelist*: a fault qualifies only if
+its descriptor affirms :meth:`~repro.faults.model.FaultDescriptor.
+has_closed_form` (which excludes subclasses that may override ``apply``)
+and its signal is one the algebra models. Unknown fault models are
+always a fallback, never an error.
+"""
+
+from __future__ import annotations
+
+from repro.faults.model import FaultDescriptor
+from repro.faults.sites import MAC_SIGNALS
+from repro.systolic.dataflow import Dataflow
+
+__all__ = [
+    "AnalyticUnsupported",
+    "supported_reason",
+    "check_supported",
+]
+
+#: Dataflows the delta algebra implements (IS rides the WS closed form
+#: on the transposed problem, mirroring the engines themselves).
+_SUPPORTED_DATAFLOWS = (
+    Dataflow.OUTPUT_STATIONARY,
+    Dataflow.WEIGHT_STATIONARY,
+    Dataflow.INPUT_STATIONARY,
+)
+
+
+class AnalyticUnsupported(Exception):
+    """The analytic engine cannot derive a closed-form delta for a fault.
+
+    Raised by :func:`check_supported`; campaign batching catches it and
+    falls back to the functional engine for the offending site (counted
+    in the ``repro_analytic_fallback_total`` metric). The message names
+    the exact reason, so a surprising fallback rate is attributable.
+    """
+
+
+def supported_reason(fault: FaultDescriptor, dataflow: Dataflow) -> str | None:
+    """Why ``fault`` under ``dataflow`` has no closed form, or ``None``.
+
+    ``None`` means the analytic engine fully supports the combination;
+    any string is the human-readable refusal that becomes the
+    :class:`AnalyticUnsupported` message (and the fallback-metric
+    attribution).
+    """
+    if dataflow not in _SUPPORTED_DATAFLOWS:
+        return f"no delta algebra for dataflow {dataflow!r}"
+    if not fault.has_closed_form():
+        return (
+            f"fault model {type(fault).__name__} has no closed-form delta "
+            f"(only exact StuckAtFault descriptors do)"
+        )
+    if fault.site.signal not in MAC_SIGNALS:
+        return f"no delta algebra for signal {fault.site.signal!r}"
+    return None
+
+
+def check_supported(fault: FaultDescriptor, dataflow: Dataflow) -> None:
+    """Raise :class:`AnalyticUnsupported` unless the algebra covers
+    ``fault`` under ``dataflow``."""
+    reason = supported_reason(fault, dataflow)
+    if reason is not None:
+        raise AnalyticUnsupported(reason)

@@ -18,10 +18,13 @@ and describes how the signal value is perturbed. Simulation engines call
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.faults.sites import FaultSite
 from repro.systolic.datatypes import IntType
+
+if TYPE_CHECKING:
+    from repro.systolic.dataflow import Dataflow
 
 __all__ = [
     "FaultDescriptor",
@@ -64,6 +67,38 @@ class FaultDescriptor:
         """One-line human-readable description."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Analytic queries (the closed-form delta engine's interface)
+    # ------------------------------------------------------------------
+    def has_closed_form(self) -> bool:
+        """Whether :mod:`repro.engines.analytic` can derive this fault's
+        output delta in closed form instead of simulating.
+
+        The base answer is conservative: only fault models whose effect
+        is a pure, cycle-independent function of the driven value (and
+        which the delta algebra explicitly implements) return True.
+        Everything else is evaluated by falling back to the functional
+        engine, which is exact for arbitrary :meth:`apply` overrides.
+        """
+        return False
+
+    def tile_footprint(
+        self, dataflow: "Dataflow", tile_m: int, tile_n: int
+    ) -> tuple[tuple[int, int], ...]:
+        """Local output coordinates this fault can reach in one tile.
+
+        Pure geometry — which elements of a ``tile_m x tile_n`` output
+        tile the fault's MAC touches under ``dataflow`` — independent of
+        the fault model (every datapath fault of one MAC shares the same
+        reach). An empty tuple means the fault is architecturally masked
+        for tiles of that shape.
+        """
+        from repro.systolic.dataflow import site_tile_footprint
+
+        return site_tile_footprint(
+            dataflow, self.site.row, self.site.col, tile_m, tile_n
+        )
+
 
 @dataclass(frozen=True)
 class StuckAtFault(FaultDescriptor):
@@ -91,6 +126,14 @@ class StuckAtFault(FaultDescriptor):
 
     def is_active(self, cycle: int) -> bool:
         return True
+
+    def has_closed_form(self) -> bool:
+        """Stuck-at forcing is cycle-independent and value-local, so the
+        analytic engine closes over it exactly (see
+        :mod:`repro.engines.analytic`). Only the exact class qualifies: a
+        subclass may override :meth:`apply` arbitrarily, and the algebra
+        would silently diverge from it."""
+        return type(self) is StuckAtFault
 
     def describe(self) -> str:
         return (

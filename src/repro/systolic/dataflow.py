@@ -34,6 +34,7 @@ __all__ = [
     "WeightStationarySchedule",
     "InputStationarySchedule",
     "make_schedule",
+    "site_tile_footprint",
 ]
 
 
@@ -56,6 +57,46 @@ class Dataflow(enum.Enum):
 
     def __str__(self) -> str:
         return self.value
+
+
+def site_tile_footprint(
+    dataflow: Dataflow, row: int, col: int, tile_m: int, tile_n: int
+) -> tuple[tuple[int, int], ...]:
+    """Local output coordinates a datapath fault in MAC ``(row, col)``
+    can reach within one ``tile_m x tile_n`` output tile.
+
+    This is the site-to-output mapping each scheme's geometry implies
+    (Section IV of the paper), written down once so the analytic delta
+    engine (:mod:`repro.engines.analytic`) and the fault-footprint
+    queries on descriptors (:meth:`repro.faults.model.FaultDescriptor.
+    tile_footprint`) share a single source of truth:
+
+    * **OS** — PE ``(row, col)`` owns output element ``(row, col)``; the
+      footprint is that element, or empty when the tile does not extend
+      to it.
+    * **WS** — partial sums of every output row traverse all mesh rows of
+      physical column ``col``, so the footprint is the whole local column
+      ``col`` regardless of ``row`` (the paper's position-independence
+      observation), or empty when ``col`` lies beyond the tile.
+    * **IS** — the transposed-WS execution lays output rows across mesh
+      columns, so the footprint is local output *row* ``col``.
+
+    An empty footprint means the fault is architecturally masked for that
+    tile: no datapath value it can corrupt is ever harvested.
+    """
+    if dataflow is Dataflow.OUTPUT_STATIONARY:
+        if row < tile_m and col < tile_n:
+            return ((row, col),)
+        return ()
+    if dataflow is Dataflow.WEIGHT_STATIONARY:
+        if col < tile_n:
+            return tuple((m, col) for m in range(tile_m))
+        return ()
+    if dataflow is Dataflow.INPUT_STATIONARY:
+        if col < tile_m:
+            return tuple((col, n) for n in range(tile_n))
+        return ()
+    raise ValueError(f"unsupported dataflow: {dataflow!r}")
 
 
 class TileSchedule(Protocol):

@@ -1,0 +1,231 @@
+"""Fallback and resilience regressions for the analytic tier.
+
+The analytic engine declines fault models its delta algebra cannot close
+over and evaluates those sites on the functional engine instead. These
+tests pin three properties of that seam:
+
+* **Bit-identity** — a campaign whose fault spec mixes closed-form
+  stuck-at sites with fallback (bridging-fault) sites is field-for-field
+  identical to the same campaign on the pure functional engine, serial
+  and sharded alike.
+* **Observability** — the ``repro_analytic_fallback_total`` counter
+  reports exactly the fallback sites, from the serial evaluator and from
+  the parallel parent (whose workers run with null metrics).
+* **Resilience** — the PR 4 chaos harness and mid-batch
+  checkpoint/resume heal batched shards exactly as they heal per-site
+  shards: the final result is still bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.campaign import Campaign, FaultSpec, GemmWorkload
+from repro.core.chaos import ChaosAction, ChaosSpec
+from repro.core.executor import ParallelExecutor, SerialExecutor
+from repro.core.resilience import RetryPolicy
+from repro.core.serialize import read_checkpoint
+from repro.engines.analytic import (
+    AnalyticUnsupported,
+    check_supported,
+    supported_reason,
+    unsupported_sites,
+)
+from repro.engines.analytic.engine import FALLBACK_METRIC
+from repro.faults.model import BridgingFault, StuckAtFault, TransientBitFlip
+from repro.faults.sites import FaultSite
+from repro.obs import Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.systolic import Dataflow, MeshConfig
+
+from tests.core._support import (
+    assert_campaigns_equivalent,
+    assert_experiments_equal,
+)
+
+MESH = MeshConfig(rows=4, cols=4)
+WORKLOAD = GemmWorkload.square(8, Dataflow.WEIGHT_STATIONARY)
+FAST_RETRY = RetryPolicy(max_retries=2, backoff_base=0.01, backoff_cap=0.05)
+
+#: Sites whose fault the spec below swaps for a bridging fault — chosen
+#: off the diagonal and in distinct shards of a 2-worker split.
+BRIDGED = ((0, 1), (2, 3))
+
+
+@dataclass(frozen=True)
+class BridgedFaultSpec(FaultSpec):
+    """A fault spec that plants closed-form-less faults at chosen sites.
+
+    Sites in ``bridge_sites`` get a :class:`BridgingFault` (no analytic
+    closed form — forces the per-site functional fallback); every other
+    site keeps the plain stuck-at fault. Frozen and picklable, so it
+    rides the executor's worker initializer unchanged.
+    """
+
+    bridge_sites: tuple[tuple[int, int], ...] = ()
+
+    def fault_at(self, row: int, col: int):
+        if (row, col) in self.bridge_sites:
+            site = FaultSite(
+                row=row, col=col, signal=self.signal, bit=self.bit
+            )
+            return BridgingFault(
+                site=site, other_bit=self.bit - 1, mode="or"
+            )
+        return super().fault_at(row, col)
+
+
+SPEC = BridgedFaultSpec(bridge_sites=BRIDGED)
+
+
+def analytic_campaign(**kwargs) -> Campaign:
+    kwargs.setdefault("fault_spec", SPEC)
+    return Campaign(MESH, WORKLOAD, engine="analytic", **kwargs)
+
+
+@pytest.fixture(scope="module")
+def functional_reference():
+    """The pure-functional result of the mixed-fault campaign."""
+    return Campaign(MESH, WORKLOAD, fault_spec=SPEC).run()
+
+
+class TestSupportPredicate:
+    def test_stuck_at_is_supported(self):
+        fault = FaultSpec().fault_at(1, 2)
+        assert supported_reason(fault, Dataflow.WEIGHT_STATIONARY) is None
+        check_supported(fault, Dataflow.WEIGHT_STATIONARY)  # no raise
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            SPEC.fault_at(*BRIDGED[0]),
+            TransientBitFlip(
+                site=FaultSite(row=0, col=0, signal="sum", bit=3),
+                start_cycle=2,
+            ),
+        ],
+        ids=["bridging", "transient"],
+    )
+    def test_unsupported_models_raise_typed(self, fault):
+        reason = supported_reason(fault, Dataflow.OUTPUT_STATIONARY)
+        assert reason is not None and type(fault).__name__ in reason
+        with pytest.raises(AnalyticUnsupported, match="closed-form"):
+            check_supported(fault, Dataflow.OUTPUT_STATIONARY)
+
+    def test_stuck_at_subclass_is_not_trusted(self):
+        # A subclass may override apply() arbitrarily; the whitelist must
+        # not assume the algebra still matches it.
+        @dataclass(frozen=True)
+        class Inverted(StuckAtFault):
+            pass
+
+        fault = Inverted(
+            site=FaultSite(row=0, col=0, signal="sum", bit=3), stuck_value=1
+        )
+        assert supported_reason(fault, Dataflow.WEIGHT_STATIONARY) is not None
+
+    def test_unsupported_sites_prediction(self):
+        campaign = analytic_campaign()
+        assert unsupported_sites(campaign, campaign.sites) == list(BRIDGED)
+
+
+class TestFallbackEquivalence:
+    def test_serial_bit_identity(self, functional_reference):
+        result = analytic_campaign().run()
+        assert_campaigns_equivalent(functional_reference, result)
+
+    def test_serial_fallback_counter(self, functional_reference):
+        obs = Observability(metrics=MetricsRegistry())
+        result = analytic_campaign().run(SerialExecutor(obs=obs))
+        assert_campaigns_equivalent(functional_reference, result)
+        assert obs.metrics.value(FALLBACK_METRIC) == len(BRIDGED)
+
+    def test_parallel_bit_identity_and_counter(self, functional_reference):
+        obs = Observability(metrics=MetricsRegistry())
+        result = analytic_campaign().run(ParallelExecutor(jobs=2, obs=obs))
+        assert_campaigns_equivalent(functional_reference, result)
+        # Workers evaluate with null metrics; the parent's prediction
+        # must account for every fallback exactly once.
+        assert obs.metrics.value(FALLBACK_METRIC) == len(BRIDGED)
+
+    def test_pure_stuck_at_campaign_counts_zero(self):
+        obs = Observability(metrics=MetricsRegistry())
+        Campaign(MESH, WORKLOAD, engine="analytic").run(
+            SerialExecutor(obs=obs)
+        )
+        assert obs.metrics.value(FALLBACK_METRIC) == 0
+
+
+class TestChaosHealing:
+    """The PR 4 chaos harness over *batched* shards."""
+
+    def test_transient_raise_heals_to_identity(
+        self, tmp_path, functional_reference
+    ):
+        chaos = ChaosSpec.build(
+            {(1, 1): ChaosAction("raise", times=1)}, state_dir=tmp_path
+        )
+        result = analytic_campaign().run(
+            ParallelExecutor(jobs=2, retry=FAST_RETRY, chaos=chaos)
+        )
+        assert_campaigns_equivalent(functional_reference, result)
+
+    def test_corrupt_batched_payload_is_caught_and_retried(
+        self, tmp_path, functional_reference
+    ):
+        # A "corrupt" action mangles one record of the batched payload;
+        # shard validation must reject it and the retry must heal it.
+        chaos = ChaosSpec.build(
+            {(2, 2): ChaosAction("corrupt", times=1)}, state_dir=tmp_path
+        )
+        result = analytic_campaign().run(
+            ParallelExecutor(jobs=2, retry=FAST_RETRY, chaos=chaos)
+        )
+        assert_campaigns_equivalent(functional_reference, result)
+
+    def test_persistent_poison_quarantines_only_its_site(
+        self, functional_reference
+    ):
+        chaos = ChaosSpec.build({(3, 0): ChaosAction("raise", times=None)})
+        result = analytic_campaign().run(
+            ParallelExecutor(jobs=2, retry=FAST_RETRY, chaos=chaos)
+        )
+        assert result.quarantined_sites() == [(3, 0)]
+        ran = [site for site in analytic_campaign().sites if site != (3, 0)]
+        assert [(e.site.row, e.site.col) for e in result.experiments] == ran
+        for row, col in ran:
+            assert_experiments_equal(
+                functional_reference.result_at(row, col),
+                result.result_at(row, col),
+            )
+
+
+class TestCheckpointResume:
+    def test_resume_mid_batch_heals_to_identity(
+        self, tmp_path, functional_reference
+    ):
+        path = tmp_path / "analytic.jsonl"
+        analytic_campaign().run(ParallelExecutor(jobs=2, checkpoint=path))
+        # Simulate a kill mid-campaign: keep the header plus a record
+        # count that lands *inside* a batched shard.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:7]) + "\n")
+        resumed = analytic_campaign().run(
+            ParallelExecutor(jobs=2, resume=path)
+        )
+        assert_campaigns_equivalent(functional_reference, resumed)
+        _, records = read_checkpoint(path)
+        assert len(records) == MESH.num_macs
+
+    def test_checkpoint_header_pins_analytic_engine(self, tmp_path):
+        path = tmp_path / "analytic.jsonl"
+        analytic_campaign().run(ParallelExecutor(jobs=2, checkpoint=path))
+        header, _ = read_checkpoint(path)
+        assert header["engine"] == "analytic"
+        # A functional campaign must refuse the analytic checkpoint.
+        with pytest.raises(ValueError, match="different campaign"):
+            Campaign(MESH, WORKLOAD, fault_spec=SPEC).run(
+                ParallelExecutor(jobs=2, resume=path)
+            )
