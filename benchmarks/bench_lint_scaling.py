@@ -22,6 +22,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.checks.cache import lint_paths
 from repro.checks.engine import run_checks
 
 from _common import banner, parallel_capacity, run_once
@@ -95,3 +96,39 @@ def test_lint_scaling(benchmark):
             )
 
         run_once(benchmark, run_checks, [corpus], jobs=4)
+
+
+def test_lint_cache_warmup(benchmark):
+    """Warm-cache lint stays >= 5x over cold, full battery included.
+
+    The cold run pays parsing, every per-file rule, the project graph,
+    and all whole-program passes — including the array shape/dtype
+    interpreter, the costliest addition to the battery; the warm rerun
+    must reduce to hashing plus one JSON read. Measured on the real
+    ``src/repro`` tree so the pin tracks the battery as it grows.
+    """
+    source = Path(__file__).resolve().parent.parent / "src" / "repro"
+    with tempfile.TemporaryDirectory() as td:
+        cache_path = Path(td) / "lint-cache.json"
+
+        start = time.perf_counter()
+        cold = lint_paths([source], cache_path=cache_path)
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = lint_paths([source], cache_path=cache_path)
+        warm_seconds = time.perf_counter() - start
+
+        ratio = cold_seconds / warm_seconds
+        print(banner("Lint cache warm-up — full battery over src/repro"))
+        print(f"{'run':>6}  {'seconds':>8}")
+        print(f"{'cold':>6}  {cold_seconds:>8.3f}")
+        print(f"{'warm':>6}  {warm_seconds:>8.3f}  ({ratio:.1f}x)")
+
+        assert warm == cold
+        assert ratio >= 5.0, (
+            f"expected warm-cache lint >= 5x over cold, got {ratio:.2f}x "
+            f"(cold {cold_seconds:.3f}s, warm {warm_seconds:.3f}s)"
+        )
+
+        run_once(benchmark, lint_paths, [source], cache_path=cache_path)

@@ -14,7 +14,11 @@ them statically, at two granularities:
   :mod:`repro.checks.determinism` proves the parallel executor's
   worker-reachable code free of fork-safety hazards and
   :mod:`repro.checks.intervals` proves the MAC datapath's
-  INT8×INT8→INT32 bit-width contract by abstract interpretation;
+  INT8×INT8→INT32 bit-width contract by abstract interpretation, and
+  :mod:`repro.checks.arrays` proves the vectorised numpy tier's
+  shape/dtype discipline over an (abstract shape × dtype) lattice — no
+  platform-default ints, no refutable broadcasts, count-preserving
+  reshapes, no hoistable allocations in hot loops;
 * **interprocedural dataflow passes** — :mod:`repro.checks.flow` is a
   summary-based taint/escape engine over the same graph, powering the
   exception-contract verifier (:mod:`repro.checks.contracts`), the
@@ -52,6 +56,14 @@ from repro.checks.engine import (
     rule_catalog,
     run_checks,
     run_project_checks,
+    select_rules,
+)
+from repro.checks.arrays import (
+    ARRAY_RULES,
+    ArrayAllocInLoopRule,
+    ArrayBroadcastRule,
+    ArrayDtypeClosureRule,
+    ArrayShapeConservationRule,
 )
 from repro.checks.rules import (
     ALL_RULES,
@@ -89,6 +101,7 @@ __all__ = [
     "run_project_checks",
     "project_rules",
     "rule_catalog",
+    "select_rules",
     "render_text",
     "render_json",
     # rules
@@ -111,6 +124,12 @@ __all__ = [
     "CONTRACT_RULES",
     "PURITY_RULES",
     "SCHEMA_RULES",
+    # array shape/dtype pass
+    "ArrayDtypeClosureRule",
+    "ArrayBroadcastRule",
+    "ArrayShapeConservationRule",
+    "ArrayAllocInLoopRule",
+    "ARRAY_RULES",
     # infrastructure
     "DEFAULT_CACHE_PATH",
     "LintCache",

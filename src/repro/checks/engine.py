@@ -49,6 +49,7 @@ __all__ = [
     "load_module",
     "project_rules",
     "rule_catalog",
+    "select_rules",
     "run_checks",
     "run_project_checks",
     "render_text",
@@ -284,6 +285,7 @@ class ProjectRule(Rule):
 def project_rules() -> tuple["ProjectRule", ...]:
     """The default whole-program battery, in documentation order."""
     # Imported lazily: these modules import this module at load time.
+    from repro.checks.arrays import ARRAY_RULES
     from repro.checks.contracts import CONTRACT_RULES
     from repro.checks.determinism import DETERMINISM_RULES
     from repro.checks.intervals import INTERVAL_RULES
@@ -296,6 +298,7 @@ def project_rules() -> tuple["ProjectRule", ...]:
         *CONTRACT_RULES,
         *PURITY_RULES,
         *SCHEMA_RULES,
+        *ARRAY_RULES,
     )
 
 
@@ -304,6 +307,40 @@ def rule_catalog() -> tuple[Rule, ...]:
     from repro.checks.rules import ALL_RULES
 
     return (*ALL_RULES, *project_rules())
+
+
+def select_rules(
+    select: Sequence[str] | None = None,
+    skip: Sequence[str] | None = None,
+) -> tuple[tuple[Rule, ...], tuple["ProjectRule", ...]]:
+    """Resolve ``--select``/``--skip`` rule-id subsets.
+
+    Returns ``(per_file_rules, project_rules)`` after applying the
+    filters to the full catalogue. ``select`` keeps only the named ids;
+    ``skip`` then removes its ids from whatever survived. Unknown ids —
+    in either list — raise ``ValueError`` whose message carries the
+    sorted known-id list, so callers can surface it verbatim.
+    """
+    catalog = rule_catalog()
+    known = {rule.id for rule in catalog}
+    requested = set(select or []) | set(skip or [])
+    unknown = sorted(requested - known)
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(unknown)}; "
+            f"known ids: {', '.join(sorted(known))}"
+        )
+    chosen = set(select) if select else known
+    chosen -= set(skip or [])
+    per_file = tuple(
+        rule for rule in catalog
+        if not isinstance(rule, ProjectRule) and rule.id in chosen
+    )
+    project = tuple(
+        rule for rule in catalog
+        if isinstance(rule, ProjectRule) and rule.id in chosen
+    )
+    return per_file, project
 
 
 def run_project_checks(

@@ -393,6 +393,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the per-file rule battery "
         "(whole-program passes always run in-parent; 1 = serial)",
     )
+    lint.add_argument(
+        "--select",
+        metavar="RULE[,RULE...]",
+        help="run only the named rule ids (comma-separated); subset runs "
+        "bypass the incremental cache",
+    )
+    lint.add_argument(
+        "--skip",
+        metavar="RULE[,RULE...]",
+        help="run everything except the named rule ids (comma-separated); "
+        "subset runs bypass the incremental cache",
+    )
     return parser
 
 
@@ -590,6 +602,36 @@ def _rule_scope_label(rule) -> str:
     return ", ".join(rule.scopes)
 
 
+def _lint_subset(paths, args: argparse.Namespace):
+    """Run a ``--select``/``--skip`` rule subset (cache bypassed).
+
+    Returns the sorted findings, or None after printing an unknown-id
+    error (the message carries the sorted known-id list).
+    """
+    from repro.checks.engine import (
+        run_checks,
+        run_project_checks,
+        select_rules,
+    )
+
+    def split(raw: str | None) -> list[str]:
+        if not raw:
+            return []
+        return [part.strip() for part in raw.split(",") if part.strip()]
+
+    try:
+        per_file, project = select_rules(
+            select=split(args.select) or None, skip=split(args.skip) or None
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    findings = run_checks(paths, rules=per_file)
+    if project:
+        findings.extend(run_project_checks(paths, rules=project))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -650,12 +692,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 2
     cache_path = args.cache_path or DEFAULT_CACHE_PATH
     try:
-        findings = lint_paths(
-            paths,
-            cache_path=cache_path,
-            use_cache=not args.no_cache,
-            jobs=args.jobs,
-        )
+        if args.select or args.skip:
+            findings = _lint_subset(paths, args)
+            if findings is None:
+                return 2
+        else:
+            findings = lint_paths(
+                paths,
+                cache_path=cache_path,
+                use_cache=not args.no_cache,
+                jobs=args.jobs,
+            )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

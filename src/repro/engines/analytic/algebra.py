@@ -183,7 +183,7 @@ def ws_chain_tile(
             f"weight tile of {kt} rows exceeds the {mesh_rows}-row mesh"
         )
     num_sites = len(site_cols)
-    sidx = np.arange(num_sites)
+    sidx = np.arange(num_sites, dtype=np.int64)
     # Wrapped product contributions prods[m, j, s] = wrap(A[m,j] * W[j,c_s])
     # for mesh rows j < kt; rows beyond the weight tile contribute zero.
     prods = wrap_array(

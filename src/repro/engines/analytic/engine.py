@@ -234,7 +234,7 @@ def _evaluate_closed_form(
     # maxima are layout-invariant, and ``np.nonzero`` on the 3-D stack
     # yields every site's cells grouped in site order.
     gemm_mask = deviation != 0
-    counts = gemm_mask.sum(axis=(1, 2))
+    counts = gemm_mask.sum(axis=(1, 2), dtype=np.int64)
     maxima = np.abs(deviation).max(axis=(1, 2))
     _, cell_rows, cell_cols = np.nonzero(gemm_mask)
     offsets = np.concatenate(([0], np.cumsum(counts)))
@@ -335,7 +335,7 @@ def _group_deviation(
             delta = state - g_tile[:, c]
             deviation[
                 positions[active][:, None],
-                np.arange(m_range.start, m_range.stop)[None, :],
+                np.arange(m_range.start, m_range.stop, dtype=np.int64)[None, :],
                 (n_range.start + c)[:, None],
             ] = delta.T
         elif dataflow is Dataflow.INPUT_STATIONARY:
@@ -357,7 +357,7 @@ def _group_deviation(
             deviation[
                 positions[active][:, None],
                 (m_range.start + c)[:, None],
-                np.arange(n_range.start, n_range.stop)[None, :],
+                np.arange(n_range.start, n_range.stop, dtype=np.int64)[None, :],
             ] = delta.T
         else:
             raise ValueError(f"unsupported dataflow: {dataflow!r}")

@@ -126,10 +126,12 @@ def im2col(inputs: np.ndarray, geometry: ConvGeometry) -> np.ndarray:
     # index. Equivalent to the per-window loop, benchmarked ~100x faster
     # on the paper's 112x112 inputs.
     row_index = (
-        np.arange(g.p)[:, None] * g.stride + np.arange(g.r)[None, :]
+        np.arange(g.p, dtype=np.int64)[:, None] * g.stride
+        + np.arange(g.r, dtype=np.int64)[None, :]
     )  # (P, R)
     col_index = (
-        np.arange(g.q)[:, None] * g.stride + np.arange(g.s)[None, :]
+        np.arange(g.q, dtype=np.int64)[:, None] * g.stride
+        + np.arange(g.s, dtype=np.int64)[None, :]
     )  # (Q, S)
     windows = inputs[
         :, :, row_index[:, None, :, None], col_index[None, :, None, :]

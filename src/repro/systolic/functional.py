@@ -247,6 +247,9 @@ class FunctionalSimulator:
         in_t = self.config.input_dtype
         acc_t = self.config.acc_dtype
         m_index = np.arange(m_dim, dtype=np.int64)
+        # Hoisted out of the per-row chain: _apply_faults_vec never
+        # mutates its operand, so one shared zero column is safe.
+        zero_col = np.zeros(m_dim, dtype=np.int64)
         faulty_cols = sorted(
             {f.site.col for f in self.injector.fault_set if f.site.col < n}
         )
@@ -254,7 +257,7 @@ class FunctionalSimulator:
             psum = bias[:, c].copy()
             for i in range(rows):
                 cycles = m_index + i + c
-                av = a[:, i].copy() if i < k else np.zeros(m_dim, dtype=np.int64)
+                av = a[:, i].copy() if i < k else zero_col
                 wv_arr = np.full(
                     m_dim, int(w[i, c]) if i < k else 0, dtype=np.int64
                 )

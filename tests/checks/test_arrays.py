@@ -1,0 +1,567 @@
+"""The array shape/dtype pass: lattice algebra and the four rules.
+
+Each rule gets the acceptance-bar seeded-violation test — one module,
+exactly one finding, at the expected line — plus targeted coverage of
+the abstract domain (join, broadcast, reshape conservation, ⊤
+propagation) and of the numpy surface model the interpreter implements.
+"""
+
+import pytest
+
+from repro.checks.arrays import (
+    ARRAY_RULES,
+    ArrayValue,
+    DT_BOOL,
+    DT_DEFAULT_INT,
+    DT_FLOAT64,
+    DT_INT32,
+    DT_INT64,
+    ScalarValue,
+    SymDim,
+    TOP_VALUE,
+    broadcast_shapes,
+    join_dims,
+    join_values,
+    promote_dtypes,
+    reshape_conserves,
+)
+from repro.checks.engine import run_project_checks
+
+M = SymDim("m")
+N = SymDim("n")
+
+
+def _findings(tmp_path, rule=None):
+    found = run_project_checks([tmp_path], rules=ARRAY_RULES)
+    if rule is None:
+        return found
+    return [f for f in found if f.rule == rule]
+
+
+# ----------------------------------------------------------------------
+# Lattice algebra
+# ----------------------------------------------------------------------
+
+
+class TestDimLattice:
+    def test_join_equal_literals(self):
+        assert join_dims(3, 3) == 3
+
+    def test_join_unequal_literals_is_top(self):
+        assert join_dims(3, 4) is None
+
+    def test_join_same_symbol(self):
+        assert join_dims(M, SymDim("m")) == M
+
+    def test_join_distinct_symbols_is_top(self):
+        assert join_dims(M, N) is None
+
+    def test_top_absorbs(self):
+        assert join_dims(None, 3) is None
+        assert join_dims(M, None) is None
+
+
+class TestDtypePromotion:
+    @pytest.mark.parametrize(
+        ("left", "right", "expected"),
+        [
+            (DT_BOOL, DT_INT64, DT_INT64),
+            (DT_INT32, DT_INT64, DT_INT64),
+            (DT_INT64, DT_FLOAT64, DT_FLOAT64),
+            (DT_BOOL, DT_BOOL, DT_BOOL),
+            (DT_DEFAULT_INT, DT_INT32, DT_DEFAULT_INT),
+        ],
+    )
+    def test_promotion_follows_rank(self, left, right, expected):
+        assert promote_dtypes(left, right) == expected
+        assert promote_dtypes(right, left) == expected
+
+    def test_top_absorbs(self):
+        assert promote_dtypes(None, DT_INT64) is None
+        assert promote_dtypes(DT_BOOL, None) is None
+
+
+class TestBroadcast:
+    def test_unit_axes_broadcast(self):
+        shape, conflicts = broadcast_shapes((M, 1), (1, N))
+        assert shape == (M, N)
+        assert conflicts == []
+
+    def test_rank_padding(self):
+        shape, conflicts = broadcast_shapes((M, N), (N,))
+        assert shape == (M, N)
+        assert conflicts == []
+
+    def test_known_unequal_dims_conflict(self):
+        shape, conflicts = broadcast_shapes((M, 3), (M, 4))
+        assert len(conflicts) == 1
+        axis, left, right = conflicts[0]
+        assert (axis, left, right) == (1, 3, 4)
+
+    def test_distinct_symbols_conflict(self):
+        # Two *different* minted symbols are known-distinct sources; the
+        # alignment is refutable unless one side is provably 1.
+        _, conflicts = broadcast_shapes((M,), (N,))
+        assert len(conflicts) == 1
+
+    def test_top_dim_never_conflicts(self):
+        shape, conflicts = broadcast_shapes((None, 3), (5, 3))
+        assert conflicts == []
+        assert shape == (None, 3)
+
+    def test_unknown_rank_never_conflicts(self):
+        shape, conflicts = broadcast_shapes(None, (3, 4))
+        assert shape is None
+        assert conflicts == []
+
+
+class TestReshapeConservation:
+    def test_provably_equal(self):
+        assert reshape_conserves((4, 6), (3, 8)) is True
+        assert reshape_conserves((M, 6), (6, M)) is True
+
+    def test_provably_different(self):
+        assert reshape_conserves((4, 6), (5, 5)) is False
+        assert reshape_conserves((M, 6), (M, 7)) is False
+
+    def test_undecidable_is_none(self):
+        assert reshape_conserves((M, 6), (N, 6)) is None
+        assert reshape_conserves((None, 2), (4,)) is None
+        assert reshape_conserves(None, (4,)) is None
+
+
+class TestValueJoin:
+    def test_array_join_keeps_agreement(self):
+        left = ArrayValue(shape=(M, 3), dtype=DT_INT64)
+        right = ArrayValue(shape=(M, 4), dtype=DT_INT64)
+        joined = join_values(left, right)
+        assert joined == ArrayValue(shape=(M, None), dtype=DT_INT64)
+
+    def test_array_join_disagreeing_dtype_is_top_dtype(self):
+        left = ArrayValue(shape=(M,), dtype=DT_INT64)
+        right = ArrayValue(shape=(M,), dtype=DT_FLOAT64)
+        assert join_values(left, right).dtype is None
+
+    def test_mixed_kinds_join_to_top(self):
+        assert join_values(ArrayValue(None, None), ScalarValue()) is TOP_VALUE
+
+    def test_top_absorbs(self):
+        assert join_values(TOP_VALUE, TOP_VALUE) is TOP_VALUE
+
+
+# ----------------------------------------------------------------------
+# Seeded violations: one module per rule, one finding, exact line
+# ----------------------------------------------------------------------
+
+
+class TestSeededViolations:
+    def test_dtype_closure_bare_arange(self, write_module, tmp_path):
+        # The acceptance-bar kernel: a deliberately implicit-dtype index
+        # vector on the datapath.
+        path = write_module(
+            "repro.systolic.badkernel",
+            """
+            import numpy as np
+
+            def kernel(n: int):
+                idx = np.arange(n)
+                return idx
+            """,
+        )
+        findings = _findings(tmp_path)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "array-dtype-closure"
+        assert finding.path == str(path)
+        assert finding.line == 5
+        assert "platform-default int" in finding.message
+
+    def test_broadcast_known_conflict(self, write_module, tmp_path):
+        path = write_module(
+            "repro.engines.analytic.badcast",
+            """
+            import numpy as np
+
+            def kernel():
+                b = np.zeros((8, 3), dtype=np.int64)
+                c = np.zeros((8, 4), dtype=np.int64)
+                return b + c
+            """,
+        )
+        findings = _findings(tmp_path)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "array-broadcast"
+        assert finding.path == str(path)
+        assert finding.line == 7
+        assert "3 vs 4" in finding.message
+
+    def test_shape_conservation_bad_reshape(self, write_module, tmp_path):
+        path = write_module(
+            "repro.ops.badreshape",
+            """
+            import numpy as np
+
+            def kernel():
+                x = np.zeros((4, 6), dtype=np.int64)
+                return x.reshape(5, 5)
+            """,
+        )
+        findings = _findings(tmp_path)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "array-shape-conservation"
+        assert finding.path == str(path)
+        assert finding.line == 6
+        assert "element count" in finding.message
+
+    def test_alloc_in_loop_hoistable(self, write_module, tmp_path):
+        path = write_module(
+            "repro.systolic.badalloc",
+            """
+            import numpy as np
+
+            def kernel(sites, m: int):
+                total = np.zeros(m, dtype=np.int64)
+                for site in sites:
+                    buf = np.zeros(m, dtype=np.int64)
+                    total = total + buf
+                return total
+            """,
+        )
+        findings = _findings(tmp_path)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "array-alloc-in-loop"
+        assert finding.path == str(path)
+        assert finding.line == 7
+        assert "hoist" in finding.message
+
+
+# ----------------------------------------------------------------------
+# Rule semantics beyond the seeded minima
+# ----------------------------------------------------------------------
+
+
+class TestDtypeClosure:
+    def test_bool_sum_default_accumulator_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.engines.analytic.boolsum",
+            """
+            import numpy as np
+
+            def kernel():
+                x = np.zeros((3, 4), dtype=np.int64)
+                mask = x != 0
+                return mask.sum(axis=0)
+            """,
+        )
+        findings = _findings(tmp_path, "array-dtype-closure")
+        assert len(findings) == 1
+        assert "bool array" in findings[0].message
+
+    def test_bool_sum_with_accumulator_dtype_is_clean(
+        self, write_module, tmp_path
+    ):
+        write_module(
+            "repro.engines.analytic.boolsum_ok",
+            """
+            import numpy as np
+
+            def kernel():
+                x = np.zeros((3, 4), dtype=np.int64)
+                mask = x != 0
+                return mask.sum(axis=0, dtype=np.int64)
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_dtypeless_zeros_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.systolic.floatzeros",
+            """
+            import numpy as np
+
+            def kernel():
+                return np.zeros((4, 4))
+            """,
+        )
+        findings = _findings(tmp_path, "array-dtype-closure")
+        assert len(findings) == 1
+        assert "float64" in findings[0].message
+
+    def test_int_list_array_without_dtype_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.systolic.intlist",
+            """
+            import numpy as np
+
+            def kernel():
+                return np.array([1, 2, 3])
+            """,
+        )
+        findings = _findings(tmp_path, "array-dtype-closure")
+        assert len(findings) == 1
+
+    def test_asarray_of_unknown_input_is_clean(self, write_module, tmp_path):
+        # asarray passes an existing array's dtype through — requiring a
+        # dtype here would force redundant annotations everywhere.
+        write_module(
+            "repro.systolic.passthrough",
+            """
+            import numpy as np
+
+            def kernel(values):
+                return np.asarray(values)
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_downcasting_store_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.engines.analytic.downcast",
+            """
+            import numpy as np
+
+            def kernel():
+                dest = np.zeros((4,), dtype=np.int32)
+                src = np.ones((4,), dtype=np.int64)
+                dest[:] = src
+                return dest
+            """,
+        )
+        findings = _findings(tmp_path, "array-dtype-closure")
+        assert len(findings) == 1
+        assert "downcast" in findings[0].message
+
+    def test_suppression_comment_silences(self, write_module, tmp_path):
+        write_module(
+            "repro.systolic.hushed",
+            """
+            import numpy as np
+
+            def kernel(n: int):
+                return np.arange(n)  # repro: ignore[array-dtype-closure]
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+
+class TestBroadcastRule:
+    def test_where_branch_conflict_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.engines.analytic.badwhere",
+            """
+            import numpy as np
+
+            def kernel():
+                live = np.zeros((6,), dtype=np.int64) != 0
+                a = np.zeros((6, 2), dtype=np.int64)
+                b = np.zeros((6, 3), dtype=np.int64)
+                return np.where(live[:, None], a, b)
+            """,
+        )
+        findings = _findings(tmp_path, "array-broadcast")
+        assert len(findings) == 1
+        assert "np.where" in findings[0].message
+
+    def test_matmul_contraction_mismatch_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.ops.badmatmul",
+            """
+            import numpy as np
+
+            def kernel():
+                a = np.zeros((3, 4), dtype=np.int64)
+                b = np.zeros((5, 6), dtype=np.int64)
+                return a @ b
+            """,
+        )
+        findings = _findings(tmp_path, "array-broadcast")
+        assert len(findings) == 1
+        assert "contraction" in findings[0].message
+
+    def test_shape_symbols_relate_across_names(self, write_module, tmp_path):
+        # ``m, k = a.shape`` refines ``a`` itself, so a later zeros((m, k))
+        # aligns with ``a`` — the core reason dimensions are symbolic.
+        write_module(
+            "repro.engines.analytic.related",
+            """
+            import numpy as np
+
+            def kernel(a: np.ndarray):
+                m, k = a.shape
+                acc = np.zeros((m, k), dtype=np.int64)
+                return acc + a
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_outer_product_via_unit_axes_is_clean(
+        self, write_module, tmp_path
+    ):
+        write_module(
+            "repro.engines.analytic.outer",
+            """
+            import numpy as np
+
+            def kernel(a: np.ndarray):
+                m, n = a.shape
+                r = np.arange(m, dtype=np.int64)
+                c = np.arange(n, dtype=np.int64)
+                return r[:, None] * c[None, :]
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_top_shapes_never_fire(self, write_module, tmp_path):
+        # Unannotated parameters are ⊤: nothing is provable, so nothing
+        # fires — the pass must stay silent rather than guess.
+        write_module(
+            "repro.systolic.topprop",
+            """
+            import numpy as np
+
+            def kernel(a, b):
+                c = a + b
+                d = np.asarray(c) * 3
+                return d.reshape(2, 2)
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+
+class TestShapeConservation:
+    def test_transpose_bad_permutation_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.ops.badtranspose",
+            """
+            import numpy as np
+
+            def kernel():
+                x = np.zeros((3, 4), dtype=np.int64)
+                return x.transpose(0, 0)
+            """,
+        )
+        findings = _findings(tmp_path, "array-shape-conservation")
+        assert len(findings) == 1
+        assert "permutation" in findings[0].message
+
+    def test_concatenate_non_axis_mismatch_fires(
+        self, write_module, tmp_path
+    ):
+        write_module(
+            "repro.engines.analytic.badconcat",
+            """
+            import numpy as np
+
+            def kernel():
+                a = np.zeros((3, 4), dtype=np.int64)
+                b = np.zeros((3, 5), dtype=np.int64)
+                return np.concatenate([a, b], axis=0)
+            """,
+        )
+        findings = _findings(tmp_path, "array-shape-conservation")
+        assert len(findings) == 1
+        assert "disagree" in findings[0].message
+
+    def test_concatenate_along_axis_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.engines.analytic.goodconcat",
+            """
+            import numpy as np
+
+            def kernel():
+                a = np.zeros((3, 4), dtype=np.int64)
+                b = np.zeros((5, 4), dtype=np.int64)
+                return np.concatenate([a, b], axis=0)
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_symbolic_reshape_round_trip_is_clean(
+        self, write_module, tmp_path
+    ):
+        write_module(
+            "repro.engines.analytic.roundtrip",
+            """
+            import numpy as np
+
+            def kernel(a: np.ndarray):
+                m, n = a.shape
+                flat = a.reshape(m * n)
+                return flat
+            """,
+        )
+        # m * n is not a single dim the domain tracks — the reshape is
+        # undecidable, which must mean *silent*, not a finding.
+        assert _findings(tmp_path) == []
+
+    def test_inferred_minus_one_reshape_is_clean(
+        self, write_module, tmp_path
+    ):
+        write_module(
+            "repro.ops.inferred",
+            """
+            import numpy as np
+
+            def kernel():
+                x = np.zeros((4, 6), dtype=np.int64)
+                return x.reshape(-1, 3)
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+
+class TestAllocInLoop:
+    def test_loop_variant_allocation_is_clean(self, write_module, tmp_path):
+        # The analytic engine's own idiom: the allocation size depends on
+        # a name bound by the loop, so it cannot be hoisted.
+        write_module(
+            "repro.engines.analytic.variant",
+            """
+            import numpy as np
+
+            def kernel(tiles):
+                out = []
+                for r in tiles:
+                    state = np.zeros(len(r), dtype=np.int64)
+                    out.append(state)
+                return out
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_nested_loop_reports_once(self, write_module, tmp_path):
+        write_module(
+            "repro.systolic.nested",
+            """
+            import numpy as np
+
+            def kernel(rows, cols, m: int):
+                acc = np.zeros(m, dtype=np.int64)
+                for r in rows:
+                    for c in cols:
+                        scratch = np.zeros(m, dtype=np.int64)
+                        acc = acc + scratch
+                return acc
+            """,
+        )
+        findings = _findings(tmp_path, "array-alloc-in-loop")
+        assert len(findings) == 1
+
+    def test_out_of_scope_module_is_ignored(self, write_module, tmp_path):
+        # The pass covers the vectorised tier only; analysis helpers may
+        # allocate however they like.
+        write_module(
+            "repro.analysis.free",
+            """
+            import numpy as np
+
+            def helper(sites, m: int):
+                for site in sites:
+                    buf = np.zeros(m)
+                    yield buf
+            """,
+        )
+        assert _findings(tmp_path) == []

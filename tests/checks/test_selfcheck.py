@@ -6,7 +6,8 @@ contract (a float in the datapath, a raw signal literal, an unseeded RNG,
 a drifting ``__all__``, an unfrozen contract dataclass, a fork-safety
 hazard on a worker path, a signal drive that escapes its width, a generic
 raise escaping to a campaign entry, fault taint reaching the golden
-slice, a drifting record codec pair) fails the suite. True positives get
+slice, a drifting record codec pair, an implicit platform-default dtype
+or refutable broadcast in the vectorised numpy tier) fails the suite. True positives get
 fixed in-source, never baselined here.
 """
 
@@ -85,5 +86,9 @@ def test_full_battery_ran():
         "exception-contract",
         "golden-purity",
         "schema-drift",
+        "array-dtype-closure",
+        "array-broadcast",
+        "array-shape-conservation",
+        "array-alloc-in-loop",
     }
     assert len(rule_catalog()) == len(ALL_RULES) + len(project_rules())

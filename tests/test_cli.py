@@ -379,6 +379,10 @@ class TestLintCommand:
             "exception-contract",
             "golden-purity",
             "schema-drift",
+            "array-dtype-closure",
+            "array-broadcast",
+            "array-shape-conservation",
+            "array-alloc-in-loop",
         ):
             assert rule_id in out
         # Severity and scope columns are present, and output is sorted.
@@ -527,6 +531,77 @@ class TestLintCommand:
             os.chdir(cwd)
         assert code == 1
         assert "export-hygiene" in captured.out
+
+
+class TestLintRuleSelection:
+    """``--select`` / ``--skip`` rule subsets."""
+
+    @staticmethod
+    def _seeded_kernel(tmp_path):
+        # One implicit-dtype violation (array-dtype-closure) and one
+        # export-hygiene violation (no __all__) in a scoped module.
+        pkg = tmp_path / "repro" / "systolic"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").touch()
+        (pkg / "__init__.py").write_text("__all__ = []\n")
+        target = pkg / "seeded.py"
+        target.write_text(
+            "import numpy as np\n"
+            "def kernel(n: int):\n"
+            "    return np.arange(n)\n"
+        )
+        return target
+
+    def test_select_runs_only_named_rules(self, tmp_path, capsys):
+        self._seeded_kernel(tmp_path)
+        code = main(
+            ["lint", str(tmp_path), "--select", "array-dtype-closure"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "array-dtype-closure" in out
+        assert "export-hygiene" not in out
+        assert "1 finding(s)" in out
+
+    def test_skip_removes_named_rules(self, tmp_path, capsys):
+        self._seeded_kernel(tmp_path)
+        code = main(
+            ["lint", str(tmp_path), "--skip",
+             "array-dtype-closure,export-hygiene"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no findings" in out
+
+    def test_select_and_skip_compose(self, tmp_path, capsys):
+        self._seeded_kernel(tmp_path)
+        code = main(
+            ["lint", str(tmp_path),
+             "--select", "array-dtype-closure,export-hygiene",
+             "--skip", "array-dtype-closure"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "export-hygiene" in out
+        assert "array-dtype-closure" not in out
+
+    def test_unknown_rule_id_rejected_with_known_list(
+        self, tmp_path, capsys
+    ):
+        self._seeded_kernel(tmp_path)
+        code = main(["lint", str(tmp_path), "--select", "no-such-rule"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown rule id(s): no-such-rule" in err
+        # The sorted known-id list rides along for discoverability.
+        assert "array-alloc-in-loop, array-broadcast" in err
+        assert "worker-wall-clock" in err
+
+    def test_unknown_skip_id_rejected(self, tmp_path, capsys):
+        self._seeded_kernel(tmp_path)
+        code = main(["lint", str(tmp_path), "--skip", "bogus-rule"])
+        assert code == 2
+        assert "bogus-rule" in capsys.readouterr().err
 
 
 class TestAtlasAndStatespace:
