@@ -97,7 +97,13 @@ __all__ = [
 ]
 
 #: Conventional worker entry-point names (see module docstring).
-CONVENTIONAL_ENTRIES = frozenset({"_init_worker", "_run_shard"})
+#: ``_run_fabric_shard`` is the fabric worker agent's pool entry
+#: (:mod:`repro.core.fabric.worker`) — naming it here keeps the remote
+#: closure inside the fork-safety battery even when the ``pool.submit``
+#: sweep misses the agent's indirection.
+CONVENTIONAL_ENTRIES = frozenset(
+    {"_init_worker", "_run_shard", "_run_fabric_shard"}
+)
 
 #: Dotted external callables that read the wall clock.
 WALL_CLOCK_CALLS = frozenset(

@@ -291,6 +291,7 @@ def project_rules() -> tuple["ProjectRule", ...]:
     from repro.checks.intervals import INTERVAL_RULES
     from repro.checks.purity import PURITY_RULES
     from repro.checks.schema import SCHEMA_RULES
+    from repro.checks.sockets import SOCKET_RULES
 
     return (
         *DETERMINISM_RULES,
@@ -299,6 +300,7 @@ def project_rules() -> tuple["ProjectRule", ...]:
         *PURITY_RULES,
         *SCHEMA_RULES,
         *ARRAY_RULES,
+        *SOCKET_RULES,
     )
 
 

@@ -9,6 +9,11 @@ Four subcommands mirror the workflows of the paper:
     sweep over worker processes, ``--checkpoint``/``--resume`` stream
     completed experiments to an append-only JSONL file and pick an
     interrupted campaign back up (see ``docs/parallel.md``).
+``repro-fi worker``
+    Join a fabric coordinator as an elastic worker agent
+    (``--connect HOST:PORT``) and execute shards it leases out; pairs
+    with ``repro-fi campaign --fabric-listen HOST:PORT`` on the
+    coordinator side (see ``docs/distributed.md``).
 ``repro-fi predict``
     Analytically predict the fault pattern of one site for a GEMM shape —
     no simulation — and render it.
@@ -36,6 +41,8 @@ Examples
     repro-fi campaign --size 16 -j 4 --checkpoint campaign.jsonl
     repro-fi campaign --size 16 -j 4 --resume campaign.jsonl
     repro-fi campaign --size 16 -j 4 --trace trace.json --metrics metrics.prom --progress
+    repro-fi campaign --size 16 --fabric-listen 0.0.0.0:7311 --fabric-workers 4
+    repro-fi worker --connect coordinator-host:7311 --jobs 4
     repro-fi predict --m 112 --k 112 --n 112 --dataflow WS --row 5 --col 9
     repro-fi lint src/repro --format json
 """
@@ -108,6 +115,24 @@ def _positive_float(text: str) -> float:
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be positive, got {value}")
     return value
+
+
+def _host_port(text: str) -> tuple[str, int]:
+    """argparse type for ``HOST:PORT`` endpoints (IPv6 hosts allowed)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {text!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer port, got {port_text!r}"
+        )
+    if not 0 <= port <= 65535:
+        raise argparse.ArgumentTypeError(f"port out of range: {port}")
+    return host.strip("[]"), port
 
 
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
@@ -277,6 +302,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_resilience_flags(campaign)
     _add_obs_flags(campaign)
+    campaign.add_argument(
+        "--fabric-listen",
+        type=_host_port,
+        default=None,
+        metavar="HOST:PORT",
+        help="run the campaign over the distributed fabric: listen here "
+        "for 'repro-fi worker' agents instead of forking a local pool "
+        "(port 0 picks a free port; see docs/distributed.md)",
+    )
+    campaign.add_argument(
+        "--fabric-workers",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="anticipated fleet size; sizes shard granularity exactly "
+        "as --jobs does for the local pool (default: 2)",
+    )
+    campaign.add_argument(
+        "--lease-seconds",
+        type=_positive_float,
+        default=10.0,
+        metavar="SECONDS",
+        help="shard lease duration; a worker silent this long forfeits "
+        "its shards back to the queue (default: 10)",
+    )
+    campaign.add_argument(
+        "--heartbeat-interval",
+        type=_positive_float,
+        default=2.0,
+        metavar="SECONDS",
+        help="worker lease-renewal cadence; must be shorter than "
+        "--lease-seconds (default: 2)",
+    )
+    campaign.add_argument(
+        "--join-timeout",
+        type=_positive_float,
+        default=60.0,
+        metavar="SECONDS",
+        help="how long the coordinator waits for the first worker "
+        "before giving up (default: 60)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a fabric coordinator and execute leased shards",
+    )
+    worker.add_argument(
+        "--connect",
+        type=_host_port,
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator endpoint to join "
+        "(the campaign side's --fabric-listen address)",
+    )
+    worker.add_argument(
+        "--jobs",
+        "-j",
+        type=_positive_int,
+        default=1,
+        help="local worker processes; also the number of shards leased "
+        "to this agent at once (default: 1)",
+    )
+    worker.add_argument(
+        "--reconnect-attempts",
+        type=_nonnegative_int,
+        default=10,
+        metavar="N",
+        help="consecutive failed connection attempts before the agent "
+        "gives up (default: 10)",
+    )
+    worker.add_argument(
+        "--reconnect-delay",
+        type=_positive_float,
+        default=1.0,
+        metavar="SECONDS",
+        help="pause between reconnection attempts (default: 1)",
+    )
+    worker.add_argument(
+        "--stay",
+        action="store_true",
+        help="outlive the campaign: after a drain, keep reconnecting "
+        "and serve the next coordinator on the same endpoint",
+    )
 
     predict = sub.add_parser(
         "predict", help="analytically predict one fault pattern"
@@ -432,7 +540,41 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     spec = FaultSpec(signal=args.signal, bit=args.bit, stuck_value=args.stuck)
     obs = _build_obs(args)
     executor = None
-    if args.jobs > 1 or args.checkpoint or args.resume:
+    if args.fabric_listen is not None:
+        if args.jobs > 1:
+            print(
+                "error: --fabric-listen and --jobs > 1 are mutually "
+                "exclusive (the fleet's workers bring their own --jobs)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.core.fabric import DistributedExecutor
+
+        host, port = args.fabric_listen
+
+        def announce(bound_host: str, bound_port: int) -> None:
+            print(
+                f"fabric listening on {bound_host}:{bound_port}; join with "
+                f"'repro-fi worker --connect {bound_host}:{bound_port}'",
+                file=sys.stderr,
+            )
+
+        executor = DistributedExecutor(
+            host,
+            port,
+            expected_workers=args.fabric_workers,
+            lease_seconds=args.lease_seconds,
+            heartbeat_interval=args.heartbeat_interval,
+            join_timeout=args.join_timeout,
+            announce=announce,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            shard_timeout=args.shard_timeout,
+            max_retries=args.max_retries,
+            on_error=args.on_error,
+            obs=obs,
+        )
+    elif args.jobs > 1 or args.checkpoint or args.resume:
         executor = ParallelExecutor(
             jobs=args.jobs,
             checkpoint=args.checkpoint,
@@ -471,6 +613,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         path = save_fault_dictionary(result, args.dictionary)
         print(f"fault dictionary written to {path}")
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.core.fabric import WorkerAgent
+
+    host, port = args.connect
+    agent = WorkerAgent(
+        host,
+        port,
+        jobs=args.jobs,
+        reconnect_attempts=args.reconnect_attempts,
+        reconnect_delay=args.reconnect_delay,
+        stay=args.stay,
+    )
+    return agent.run()
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
@@ -745,6 +902,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "campaign": _cmd_campaign,
+        "worker": _cmd_worker,
         "predict": _cmd_predict,
         "atlas": _cmd_atlas,
         "statespace": _cmd_statespace,

@@ -34,18 +34,30 @@ from repro.core.executor import (
     SerialExecutor,
     shard_sites,
 )
+from repro.core.fabric import (
+    Coordinator,
+    DistributedExecutor,
+    Lease,
+    LeaseTable,
+    WorkerAgent,
+)
 from repro.core.resilience import (
     CampaignExecutionError,
     CampaignInterrupted,
     CheckpointCorrupt,
     FailureKind,
+    FailureLadder,
     FailureRecord,
+    LeaseExpired,
     OnError,
     PoisonSite,
     PoolBroken,
+    ProtocolError,
     RetryPolicy,
     ShardCrash,
+    ShardTask,
     ShardTimeout,
+    WorkerLost,
 )
 from repro.core.classifier import Classification, PatternClass, classify_pattern
 from repro.core.fault_patterns import FaultPattern, extract_pattern
@@ -169,12 +181,22 @@ __all__ = [
     "ShardTimeout",
     "PoisonSite",
     "PoolBroken",
+    "WorkerLost",
+    "LeaseExpired",
+    "ProtocolError",
     "CheckpointCorrupt",
     "CampaignInterrupted",
     "FailureKind",
     "OnError",
     "RetryPolicy",
+    "FailureLadder",
     "FailureRecord",
+    "ShardTask",
+    "Coordinator",
+    "DistributedExecutor",
+    "WorkerAgent",
+    "Lease",
+    "LeaseTable",
     "ChaosSpec",
     "ChaosAction",
     "ChaosError",

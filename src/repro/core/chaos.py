@@ -43,6 +43,12 @@ __all__ = [
 #: The failure modes a worker can be made to exhibit.
 _KINDS = ("raise", "hang", "exit", "corrupt", "sleep")
 
+#: The *network* failure modes a fabric worker agent can be made to
+#: exhibit (see :mod:`repro.core.fabric`). Kept in a separate namespace
+#: so :meth:`ChaosSpec.fire` — consulted inside pool workers — never
+#: consumes a network action meant for the agent's transport layer.
+_NET_KINDS = ("drop", "truncate", "stall", "replay")
+
 
 class ChaosError(RuntimeError):
     """The exception an injected ``raise`` (or expired ``hang``) throws."""
@@ -63,6 +69,16 @@ class ChaosAction:
         ``"corrupt"`` — signal the shard runner to mangle its payload;
         ``"sleep"`` — delay ``seconds`` then run normally (dilates a
         campaign without failing it; used by shutdown tests).
+
+        Network kinds, emulated by the fabric worker agent
+        (:meth:`ChaosSpec.fire_net`) when the site's shard arrives:
+        ``"drop"`` — abort the connection and kill the agent hard
+        (``os._exit``), the remote equivalent of ``exit``;
+        ``"truncate"`` — send a torn result frame, then abort the
+        connection and reconnect;
+        ``"stall"`` — suppress heartbeat renewal (and delay the shard's
+        result) for ``seconds``, forfeiting the lease;
+        ``"replay"`` — send the shard's result frame twice.
     times:
         Fire on the first ``times`` visits of the site, then heal.
         ``None`` fires on every visit (a persistent fault).
@@ -75,9 +91,10 @@ class ChaosAction:
     seconds: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.kind not in _KINDS:
+        if self.kind not in _KINDS + _NET_KINDS:
             raise ValueError(
-                f"unknown chaos kind {self.kind!r}; expected one of {_KINDS}"
+                f"unknown chaos kind {self.kind!r}; expected one of "
+                f"{_KINDS + _NET_KINDS}"
             )
         if self.times is not None and self.times < 1:
             raise ValueError(f"times must be >= 1 or None, got {self.times}")
@@ -156,10 +173,14 @@ class ChaosSpec:
 
         Returns ``True`` when a ``corrupt`` action fired (the shard
         runner mangles its payload); ``raise``/``hang``/``exit`` never
-        return. Returns ``False`` when nothing fires.
+        return. Returns ``False`` when nothing fires. Network actions
+        belong to the transport layer (:meth:`fire_net`) and are ignored
+        here *without* consuming their firing budget.
         """
         action = self.action_for(site)
-        if action is None or not self._consume(site, action):
+        if action is None or action.kind in _NET_KINDS:
+            return False
+        if not self._consume(site, action):
             return False
         if action.kind == "raise":
             raise ChaosError(f"injected crash at site {site}")
@@ -172,3 +193,21 @@ class ChaosSpec:
             time.sleep(action.seconds)
             return False
         return True  # corrupt
+
+    def fire_net(self, site: tuple[int, int]) -> ChaosAction | None:
+        """Consult the *network* schedule when ``site``'s shard reaches a
+        fabric worker agent.
+
+        Returns the :class:`ChaosAction` the agent must emulate
+        (``drop``/``truncate``/``stall``/``replay``), consuming one
+        firing from its budget, or ``None`` when nothing fires.
+        Simulation kinds are ignored here without consuming — they fire
+        inside the agent's process pool via :meth:`fire`, exactly as in
+        the single-machine executor.
+        """
+        action = self.action_for(site)
+        if action is None or action.kind not in _NET_KINDS:
+            return None
+        if not self._consume(site, action):
+            return None
+        return action

@@ -79,14 +79,11 @@ from repro.core.resilience import (
     CampaignInterrupted,
     CheckpointCorrupt,
     FailureKind,
+    FailureLadder,
     FailureRecord,
     OnError,
-    PoisonSite,
-    PoolBroken,
     RetryPolicy,
-    ShardCrash,
-    ShardTimeout,
-    record_failure_metrics,
+    ShardTask,
 )
 from repro.obs import NULL_OBS, Observability
 from repro.obs.metrics import NULL_METRICS
@@ -429,24 +426,10 @@ def _validate_shard(payload: object, sites: list[tuple[int, int]]) -> str | None
 
 
 @dataclass
-class _ShardTask:
-    """One schedulable unit: a site list plus its failure history."""
-
-    sites: list[tuple[int, int]]
-    attempts: int = 0
-    #: Monotonic instant before which the task must not be resubmitted
-    #: (exponential-backoff gate).
-    ready_at: float = 0.0
-    #: True while the task is a pool-collapse suspect: it must run alone
-    #: so a repeat collapse attributes exactly.
-    suspect: bool = False
-
-
-@dataclass
 class _InFlight:
     """Bookkeeping for one submitted future."""
 
-    task: _ShardTask
+    task: ShardTask
     deadline: float | None = None
     #: Monotonic submission instant, for the shard-latency histogram.
     submitted_at: float = 0.0
@@ -492,14 +475,28 @@ class _ShardDispatcher:
                 BATCHED_MIN_SHARD_SITES if campaign.supports_batching else 1
             ),
         )
-        self.queue: deque[_ShardTask] = deque(
-            _ShardTask(sites=shard) for shard in shards
+        self.queue: deque[ShardTask] = deque(
+            ShardTask(sites=shard) for shard in shards
         )
         self.in_flight: dict[Future, _InFlight] = {}
         self.completed: dict[tuple[int, int], ExperimentResult] = {}
-        self.failures: dict[tuple[int, int], FailureRecord] = {}
+        self.ladder = FailureLadder(
+            retry=executor.retry,
+            on_error=executor.on_error,
+            queue=self.queue,
+            metrics=self.obs.metrics,
+            progress=self.obs.progress,
+            record_failure=self._persist_failure,
+        )
         self.pool: ProcessPoolExecutor | None = None
         self._signum: int | None = None
+
+    @property
+    def failures(self) -> dict[tuple[int, int], FailureRecord]:
+        return self.ladder.failures
+
+    def _persist_failure(self, failure: FailureRecord) -> None:
+        self.executor._record_failure(self.stream, failure)
 
     # -- pool lifecycle ------------------------------------------------
     def _start_pool(self) -> None:
@@ -610,7 +607,7 @@ class _ShardDispatcher:
 
     def _pop_ready(
         self, now: float, suspect_mode: bool
-    ) -> _ShardTask | None:
+    ) -> ShardTask | None:
         for index, task in enumerate(self.queue):
             if task.ready_at > now:
                 continue
@@ -643,7 +640,7 @@ class _ShardDispatcher:
 
     # -- outcome handling ----------------------------------------------
     def _reap(self, done: set[Future]) -> None:
-        broken: list[_ShardTask] = []
+        broken: list[ShardTask] = []
         for future in done:
             entry = self.in_flight.pop(future, None)
             if entry is None:
@@ -655,11 +652,11 @@ class _ShardDispatcher:
                 broken.append(task)
                 continue
             except Exception as exc:  # the worker raised for this shard
-                self._failure(task, FailureKind.CRASH, repr(exc))
+                self.ladder.fail(task, FailureKind.CRASH, repr(exc))
                 continue
             problem = _validate_shard(payload, task.sites)
             if problem is not None:
-                self._failure(task, FailureKind.CORRUPT_RESULT, problem)
+                self.ladder.fail(task, FailureKind.CORRUPT_RESULT, problem)
                 continue
             results, events = payload
             self.obs.metrics.histogram(
@@ -683,7 +680,7 @@ class _ShardDispatcher:
             self.obs.progress.advance(len(results))
         self.executor._record_batch(self.stream, results)
 
-    def _on_pool_broken(self, broken: list[_ShardTask]) -> None:
+    def _on_pool_broken(self, broken: list[ShardTask]) -> None:
         """A worker died hard and took the whole pool with it.
 
         Every in-flight future fails together, so the culprit cannot be
@@ -695,7 +692,7 @@ class _ShardDispatcher:
         self._restart_pool()
         for task in victims:
             task.suspect = True
-            self._failure(
+            self.ladder.fail(
                 task,
                 FailureKind.POOL_BROKEN,
                 "a worker process died abruptly; the pool was "
@@ -718,8 +715,8 @@ class _ShardDispatcher:
         # Harvest shards that finished before the axe falls: done futures
         # keep their results even after the pool is killed.
         self._reap({f for f in self.in_flight if f.done()})
-        timed_out: list[_ShardTask] = []
-        innocent: list[_ShardTask] = []
+        timed_out: list[ShardTask] = []
+        innocent: list[ShardTask] = []
         for future, entry in self.in_flight.items():
             (timed_out if future in expired else innocent).append(entry.task)
         self.in_flight.clear()
@@ -728,71 +725,12 @@ class _ShardDispatcher:
         for task in innocent:  # requeue in-flight bystanders, no penalty
             self.queue.appendleft(task)
         for task in timed_out:
-            self._failure(
+            self.ladder.fail(
                 task,
                 FailureKind.TIMEOUT,
                 f"shard exceeded the {self.executor.shard_timeout:g}s "
                 f"watchdog deadline",
             )
-
-    def _failure(self, task: _ShardTask, kind: FailureKind, error: str) -> None:
-        """Apply the retry → abort/bisect → quarantine ladder."""
-        task.attempts += 1
-        policy = self.executor.retry
-        retried = task.attempts <= policy.max_retries
-        record_failure_metrics(self.obs.metrics, kind, retried=retried)
-        if retried:
-            if self.obs.progress is not None:
-                self.obs.progress.note_retry()
-            task.ready_at = time.monotonic() + policy.delay(task.attempts)
-            self.queue.append(task)
-            return
-        if self.executor.on_error is OnError.ABORT:
-            raise self._abort_error(task, kind, error)
-        if len(task.sites) > 1:
-            # Bisect: the poison site is somewhere inside; each half gets
-            # a fresh retry budget and inherits suspect status.
-            self.obs.metrics.counter(
-                "repro_shard_bisections_total",
-                "Shards split in half to isolate a poison site.",
-            ).inc()
-            mid = (len(task.sites) + 1) // 2
-            for half in (task.sites[mid:], task.sites[:mid]):
-                self.queue.appendleft(
-                    _ShardTask(sites=half, suspect=task.suspect)
-                )
-            return
-        row, col = task.sites[0]
-        failure = FailureRecord(
-            row=row, col=col, kind=kind, attempts=task.attempts, error=error
-        )
-        self.failures[(row, col)] = failure
-        self.obs.metrics.counter(
-            "repro_quarantined_sites_total",
-            "Fault sites the runtime gave up on (quarantined).",
-        ).inc()
-        if self.obs.progress is not None:
-            self.obs.progress.note_quarantine()
-        self.executor._record_failure(self.stream, failure)
-
-    @staticmethod
-    def _abort_error(
-        task: _ShardTask, kind: FailureKind, error: str
-    ) -> CampaignExecutionError:
-        if len(task.sites) == 1:
-            row, col = task.sites[0]
-            return PoisonSite(
-                f"MAC({row},{col}) failed {task.attempts} attempt(s) "
-                f"[{kind}]: {error}"
-            )
-        exc_type = {
-            FailureKind.TIMEOUT: ShardTimeout,
-            FailureKind.POOL_BROKEN: PoolBroken,
-        }.get(kind, ShardCrash)
-        return exc_type(
-            f"shard of {len(task.sites)} sites failed "
-            f"{task.attempts} attempt(s) [{kind}]: {error}"
-        )
 
     def _graceful_shutdown(self) -> None:
         """SIGINT/SIGTERM arrived: drain, fsync, exit resumable."""
@@ -1056,6 +994,32 @@ class ParallelExecutor:
             stream.close()
 
     # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        campaign: Campaign,
+        golden: np.ndarray,
+        plan: TilingPlan,
+        geometry: ConvGeometry | None,
+        pending: list[tuple[int, int]],
+        stream: IO[str] | None,
+    ) -> tuple[
+        dict[tuple[int, int], ExperimentResult],
+        dict[tuple[int, int], FailureRecord],
+    ]:
+        """The transport seam: run ``pending`` and return what completed.
+
+        The base implementation fans out over a local process pool via
+        :class:`_ShardDispatcher`. :class:`repro.core.fabric.
+        DistributedExecutor` overrides exactly this method to dispatch
+        the same shards to remote socket workers — everything around it
+        (golden cache, checkpoint open/restore/close, spans, progress,
+        canonical merge) is shared verbatim between the two tiers.
+        """
+        dispatcher = _ShardDispatcher(
+            self, campaign, golden, plan, geometry, pending, stream
+        )
+        return dispatcher.run()
+
     def execute(self, campaign: Campaign) -> CampaignResult:
         obs = self.obs
         start = time.perf_counter()
@@ -1105,11 +1069,9 @@ class ParallelExecutor:
                         "campaign.dispatch", cat="campaign",
                         pending=len(pending),
                     ):
-                        dispatcher = _ShardDispatcher(
-                            self, campaign, golden, plan, geometry, pending,
-                            stream,
+                        ran, quarantined = self._dispatch(
+                            campaign, golden, plan, geometry, pending, stream
                         )
-                        ran, quarantined = dispatcher.run()
                     completed.update(ran)
                     failures.update(quarantined)
             finally:

@@ -1,0 +1,131 @@
+"""Shard leases: the coordinator's claim ledger over in-flight work.
+
+A lease is the fabric's unit of failure detection. When the coordinator
+hands a shard to a worker it grants a lease valid for ``lease_seconds``;
+every heartbeat from that worker renews all of its leases. A worker that
+goes silent — crashed, partitioned, or stalled — simply stops renewing,
+the lease expires, and the shard goes back on the queue through the
+shared :class:`~repro.core.resilience.FailureLadder`. No failure
+detector beyond the clock is needed, and the protocol stays idempotent:
+a stale result arriving after forfeiture is dropped (the lease is no
+longer held by its sender), and checkpoint restore dedupes last-wins.
+
+Lease state machine::
+
+    granted ──heartbeat──▶ renewed (deadline pushed out)
+       │ result/shard-error          │
+       ▼                             ▼
+    released                  expired ──▶ requeued (FailureLadder)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.core.resilience import ShardTask
+from repro.core.serialize import lease_record
+
+__all__ = ["Lease", "LeaseTable"]
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One shard's claim by one worker, valid until ``deadline``.
+
+    Frozen — renewal replaces the lease rather than mutating it, so a
+    lease value captured by a test or a status snapshot never changes
+    under its feet.
+    """
+
+    shard_id: int
+    worker_id: int
+    #: Monotonic instant the claim lapses without renewal.
+    deadline: float
+    #: Monotonic instant the shard was handed out (latency accounting).
+    granted_at: float = 0.0
+    renewals: int = 0
+
+
+class LeaseTable:
+    """The coordinator's ledger of outstanding shard leases."""
+
+    def __init__(self, lease_seconds: float) -> None:
+        if lease_seconds <= 0:
+            raise ValueError(
+                f"lease_seconds must be positive, got {lease_seconds}"
+            )
+        self.lease_seconds = lease_seconds
+        self._leases: dict[int, Lease] = {}
+        self._tasks: dict[int, ShardTask] = {}
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def grant(
+        self, shard_id: int, worker_id: int, task: ShardTask, now: float
+    ) -> Lease:
+        """Claim ``task`` for ``worker_id`` until ``now + lease_seconds``."""
+        lease = Lease(
+            shard_id=shard_id,
+            worker_id=worker_id,
+            deadline=now + self.lease_seconds,
+            granted_at=now,
+        )
+        self._leases[shard_id] = lease
+        self._tasks[shard_id] = task
+        return lease
+
+    def holder(self, shard_id: int) -> Lease | None:
+        """The live lease on ``shard_id``, or ``None``."""
+        return self._leases.get(shard_id)
+
+    def task(self, shard_id: int) -> ShardTask:
+        """The task a live lease covers."""
+        return self._tasks[shard_id]
+
+    def release(self, shard_id: int) -> ShardTask | None:
+        """Drop the lease (completion, failure, or forfeiture); returns
+        the covered task, or ``None`` if the lease was already gone."""
+        self._leases.pop(shard_id, None)
+        return self._tasks.pop(shard_id, None)
+
+    def renew(self, worker_id: int, now: float) -> int:
+        """Heartbeat: push out every lease ``worker_id`` holds."""
+        renewed = 0
+        for shard_id in self.held_by(worker_id):
+            lease = self._leases[shard_id]
+            self._leases[shard_id] = replace(
+                lease,
+                deadline=now + self.lease_seconds,
+                renewals=lease.renewals + 1,
+            )
+            renewed += 1
+        return renewed
+
+    def held_by(self, worker_id: int) -> list[int]:
+        """Shard ids leased to ``worker_id``, in id order."""
+        return sorted(
+            shard_id
+            for shard_id, lease in self._leases.items()
+            if lease.worker_id == worker_id
+        )
+
+    def outstanding(self) -> list[ShardTask]:
+        """Every task still under lease, in shard-id order."""
+        return [self._tasks[shard_id] for shard_id in sorted(self._tasks)]
+
+    def expired(self, now: float) -> list[int]:
+        """Shard ids whose lease lapsed without renewal, in id order."""
+        return sorted(
+            shard_id
+            for shard_id, lease in self._leases.items()
+            if now >= lease.deadline
+        )
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """JSON-compatible view of every live lease (status surface)."""
+        return [
+            lease_record(self._leases[shard_id])
+            for shard_id in sorted(self._leases)
+        ]

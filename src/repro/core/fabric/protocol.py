@@ -1,0 +1,114 @@
+"""The fabric's framed-JSON wire protocol, over asyncio streams.
+
+Every message is one frame: a 4-byte big-endian payload length followed
+by one UTF-8 JSON object with a mandatory ``"type"`` key (byte codec in
+:mod:`repro.core.serialize`). The conversation is deliberately small:
+
+========================= =========================================
+worker → coordinator       coordinator → worker
+========================= =========================================
+``hello``   join request   ``welcome``  setup payload + cadence
+``heartbeat`` renew leases ``heartbeat`` pong (bounds read gaps)
+``result``  shard records  ``shard``    lease grant (site list)
+``shard-error`` typed fail ``drain``    campaign over, leave
+``bye``     graceful leave
+========================= =========================================
+
+Socket discipline: **every** read and flush in this module runs under an
+explicit :func:`asyncio.wait_for` deadline — a silent peer costs a
+bounded wait, never a hang. The ``socket-discipline`` lint rule holds
+all fabric code to exactly this.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.core.resilience import ProtocolError
+from repro.core.serialize import MAX_FRAME_BYTES, decode_frame, encode_frame
+
+__all__ = [
+    "DEFAULT_IO_TIMEOUT",
+    "MSG_HELLO",
+    "MSG_WELCOME",
+    "MSG_SHARD",
+    "MSG_HEARTBEAT",
+    "MSG_RESULT",
+    "MSG_SHARD_ERROR",
+    "MSG_BYE",
+    "MSG_DRAIN",
+    "recv_frame",
+    "send_frame",
+]
+
+#: Default deadline for one protocol I/O operation, in seconds.
+DEFAULT_IO_TIMEOUT = 30.0
+
+#: worker → coordinator: join request (``{"jobs": N}``).
+MSG_HELLO = "hello"
+#: coordinator → worker: accepted; carries the fabric setup record.
+MSG_WELCOME = "welcome"
+#: coordinator → worker: lease grant (``{"shard_id", "sites"}``).
+MSG_SHARD = "shard"
+#: worker → coordinator: renew every held lease; echoed back as a pong.
+MSG_HEARTBEAT = "heartbeat"
+#: worker → coordinator: shard completed (``{"shard_id", "records", "events"}``).
+MSG_RESULT = "result"
+#: worker → coordinator: shard failed (``{"shard_id", "kind", "error"}``).
+MSG_SHARD_ERROR = "shard-error"
+#: worker → coordinator: graceful leave; held shards requeue unpenalized.
+MSG_BYE = "bye"
+#: coordinator → worker: campaign over; disconnect cleanly.
+MSG_DRAIN = "drain"
+
+
+async def recv_frame(
+    reader: asyncio.StreamReader, timeout: float
+) -> dict[str, Any]:
+    """Read one frame, every byte under an explicit deadline.
+
+    Raises
+    ------
+    ProtocolError
+        If the peer announces an oversized frame or the payload is not a
+        typed JSON message.
+    asyncio.IncompleteReadError
+        If the stream ends mid-frame (a vanished or truncating peer).
+    asyncio.TimeoutError
+        If the peer stays silent past ``timeout``.
+    """
+    header = await asyncio.wait_for(reader.readexactly(4), timeout)
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    payload = await asyncio.wait_for(reader.readexactly(length), timeout)
+    try:
+        return decode_frame(payload)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+async def send_frame(
+    writer: asyncio.StreamWriter,
+    message: dict[str, Any],
+    timeout: float,
+    lock: asyncio.Lock | None = None,
+) -> None:
+    """Write one frame and flush it under an explicit deadline.
+
+    ``lock`` serialises concurrent senders sharing one connection (the
+    agent's heartbeat task vs. its shard tasks; the coordinator's
+    per-connection handler vs. its ticker) so frames never interleave.
+    """
+    frame = encode_frame(message)
+    if lock is not None:
+        async with lock:
+            writer.write(frame)
+            await asyncio.wait_for(writer.drain(), timeout)
+    else:
+        writer.write(frame)
+        await asyncio.wait_for(writer.drain(), timeout)

@@ -7,8 +7,10 @@ executor (:mod:`repro.core.executor`) uses to survive them:
 
 * a **typed failure taxonomy** — :class:`ShardCrash`,
   :class:`ShardTimeout`, :class:`PoisonSite`, :class:`PoolBroken`,
-  :class:`CheckpointCorrupt` — so callers can react per failure class
-  instead of pattern-matching exception strings;
+  :class:`CheckpointCorrupt`, and the distributed-fabric trio
+  :class:`WorkerLost` / :class:`LeaseExpired` / :class:`ProtocolError`
+  — so callers can react per failure class instead of
+  pattern-matching exception strings;
 * :class:`RetryPolicy` — bounded retry with *deterministic* exponential
   backoff. Deliberately jitter-free: two runs of the same campaign under
   the same failures schedule retries identically, which keeps failure
@@ -23,14 +25,20 @@ executor (:mod:`repro.core.executor`) uses to survive them:
 
 The executor's recovery protocol (suspect isolation after a pool break,
 shard bisection to isolate a poison site) is documented in
-``docs/resilience.md``.
+``docs/resilience.md``; the distributed fabric's lease/heartbeat
+protocol, which reuses this exact ladder across a network boundary, in
+``docs/distributed.md``. The ladder itself lives here as
+:class:`FailureLadder` so the in-process dispatcher and the fabric
+coordinator share one implementation, byte for byte.
 """
 
 from __future__ import annotations
 
 import enum
 import signal as _signal
-from dataclasses import dataclass
+import time
+from collections import deque
+from dataclasses import dataclass, field
 from pathlib import Path
 
 __all__ = [
@@ -40,11 +48,16 @@ __all__ = [
     "PoisonSite",
     "PoolBroken",
     "CheckpointCorrupt",
+    "WorkerLost",
+    "LeaseExpired",
+    "ProtocolError",
     "CampaignInterrupted",
     "FailureKind",
     "OnError",
     "RetryPolicy",
     "FailureRecord",
+    "ShardTask",
+    "FailureLadder",
     "record_failure_metrics",
 ]
 
@@ -83,6 +96,28 @@ class CheckpointCorrupt(CampaignExecutionError, ValueError):
     """A checkpoint file exists but cannot be trusted (torn or alien
     header). Also a :class:`ValueError` so existing checkpoint-validation
     handlers keep working."""
+
+
+class WorkerLost(CampaignExecutionError):
+    """A remote fabric worker's connection dropped while it held shard
+    leases and the retry budget is exhausted (or no worker ever joined).
+    Raised only under ``on_error="abort"``; otherwise forfeited shards
+    are requeued for the surviving fleet."""
+
+
+class LeaseExpired(CampaignExecutionError):
+    """A fabric worker went silent past its lease deadline — no heartbeat
+    renewal — and the shard's retry budget is exhausted. Raised only
+    under ``on_error="abort"``; otherwise the forfeited shard is
+    requeued (idempotent: checkpoint restore dedupes last-wins, and the
+    coordinator drops stale results from the forfeiting worker)."""
+
+
+class ProtocolError(CampaignExecutionError):
+    """A fabric peer spoke the framed-JSON protocol wrong — truncated
+    frame, oversized frame, undecodable payload, or an out-of-contract
+    message — and the retry budget is exhausted. Raised only under
+    ``on_error="abort"``."""
 
 
 class CampaignInterrupted(KeyboardInterrupt):
@@ -129,6 +164,12 @@ class FailureKind(enum.Enum):
     POOL_BROKEN = "pool-broken"
     #: The worker returned, but its payload failed validation.
     CORRUPT_RESULT = "corrupt-result"
+    #: A remote worker's connection dropped while it held the shard.
+    WORKER_LOST = "worker-lost"
+    #: A remote worker went silent past its lease deadline.
+    LEASE_EXPIRED = "lease-expired"
+    #: A fabric peer violated the framed-JSON wire protocol.
+    PROTOCOL_ERROR = "protocol-error"
 
     def __str__(self) -> str:
         return self.value
@@ -220,6 +261,126 @@ class FailureRecord:
         return (
             f"MAC({self.row},{self.col}) quarantined after "
             f"{self.attempts} attempt(s): {self.kind} — {self.error}"
+        )
+
+
+@dataclass
+class ShardTask:
+    """One schedulable unit of a campaign: a site list plus its failure
+    history. Shared vocabulary of the in-process dispatcher and the
+    distributed coordinator — both schedule exactly these."""
+
+    sites: list[tuple[int, int]]
+    attempts: int = 0
+    #: Monotonic instant before which the task must not be resubmitted
+    #: (exponential-backoff gate).
+    ready_at: float = 0.0
+    #: True while the task is a pool-collapse suspect: it must run alone
+    #: so a repeat collapse attributes exactly.
+    suspect: bool = False
+
+
+@dataclass
+class FailureLadder:
+    """The retry → abort/bisect → quarantine ladder, as a value.
+
+    One failure-handling implementation serves both execution tiers: the
+    in-process :class:`~repro.core.executor.ParallelExecutor` dispatcher
+    and the socket-fabric coordinator
+    (:class:`repro.core.fabric.Coordinator`) construct a ladder around
+    their own task queue and feed every exhausted shard attempt through
+    :meth:`fail`. That is what makes poison-site bisection work
+    *unchanged across the wire* — the coordinator never reimplements it.
+
+    Parameters
+    ----------
+    retry:
+        The :class:`RetryPolicy` supplying budget and backoff delays.
+    on_error:
+        :class:`OnError` policy once the budget is exhausted.
+    queue:
+        The owner's FIFO of :class:`ShardTask`; retries are appended,
+        bisection halves are prepended (depth-first isolation).
+    metrics:
+        A :class:`repro.obs.metrics.MetricsRegistry` (or its null twin).
+    progress:
+        Optional progress line (``note_retry`` / ``note_quarantine``).
+    record_failure:
+        Optional callable persisting a :class:`FailureRecord` into the
+        checkpoint stream the moment a site is quarantined.
+    """
+
+    retry: RetryPolicy
+    on_error: OnError
+    queue: deque
+    metrics: object
+    progress: object = None
+    record_failure: object = None
+    #: Quarantined sites, keyed by coordinate — the owner merges these
+    #: into :attr:`CampaignResult.failures`.
+    failures: dict = field(default_factory=dict)
+
+    def fail(self, task: ShardTask, kind: FailureKind, error: str) -> None:
+        """Apply the retry → abort/bisect → quarantine ladder."""
+        task.attempts += 1
+        retried = task.attempts <= self.retry.max_retries
+        record_failure_metrics(self.metrics, kind, retried=retried)
+        if retried:
+            if self.progress is not None:
+                self.progress.note_retry()
+            task.ready_at = time.monotonic() + self.retry.delay(task.attempts)
+            self.queue.append(task)
+            return
+        if self.on_error is OnError.ABORT:
+            raise self.abort_error(task, kind, error)
+        if len(task.sites) > 1:
+            # Bisect: the poison site is somewhere inside; each half gets
+            # a fresh retry budget and inherits suspect status.
+            self.metrics.counter(
+                "repro_shard_bisections_total",
+                "Shards split in half to isolate a poison site.",
+            ).inc()
+            mid = (len(task.sites) + 1) // 2
+            for half in (task.sites[mid:], task.sites[:mid]):
+                self.queue.appendleft(
+                    ShardTask(sites=half, suspect=task.suspect)
+                )
+            return
+        row, col = task.sites[0]
+        failure = FailureRecord(
+            row=row, col=col, kind=kind, attempts=task.attempts, error=error
+        )
+        self.failures[(row, col)] = failure
+        self.metrics.counter(
+            "repro_quarantined_sites_total",
+            "Fault sites the runtime gave up on (quarantined).",
+        ).inc()
+        if self.progress is not None:
+            self.progress.note_quarantine()
+        if self.record_failure is not None:
+            self.record_failure(failure)
+
+    @staticmethod
+    def abort_error(
+        task: ShardTask, kind: FailureKind, error: str
+    ) -> CampaignExecutionError:
+        """The taxonomy exception for an exhausted task under ABORT."""
+        if len(task.sites) == 1:
+            row, col = task.sites[0]
+            return PoisonSite(
+                f"MAC({row},{col}) failed {task.attempts} attempt(s) "
+                f"[{kind}]: {error}"
+            )
+        exc_type = {
+            FailureKind.TIMEOUT: ShardTimeout,
+            FailureKind.POOL_BROKEN: PoolBroken,
+            FailureKind.WORKER_LOST: WorkerLost,
+            FailureKind.LEASE_EXPIRED: LeaseExpired,
+            FailureKind.PROTOCOL_ERROR: ProtocolError,
+        }.get(kind, ShardCrash)
+        return exc_type(
+            f"shard of {len(task.sites)} sites failed "
+            f"{task.attempts} attempt(s) [{kind}]: {error}"
         )
 
 

@@ -17,7 +17,10 @@ sparse in exactly the structured way the taxonomy describes.
 
 from __future__ import annotations
 
+import base64
 import json
+import pickle
+import struct
 import warnings
 from pathlib import Path
 from typing import Any
@@ -51,6 +54,13 @@ __all__ = [
     "failure_from_record",
     "is_failure_record",
     "read_checkpoint",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frame",
+    "lease_record",
+    "lease_from_record",
+    "fabric_setup_record",
+    "fabric_setup_from_record",
 ]
 
 #: Schema version written into every artefact.
@@ -387,6 +397,151 @@ def failure_from_record(record: dict[str, Any]) -> FailureRecord:
 def is_failure_record(record: dict[str, Any]) -> bool:
     """True when a checkpoint record is a quarantine (failure) line."""
     return record.get("kind") == "quarantine"
+
+
+# ----------------------------------------------------------------------
+# Fabric wire codecs (length-prefixed framed JSON; see repro.core.fabric)
+# ----------------------------------------------------------------------
+#
+# The distributed campaign fabric speaks frames: a 4-byte big-endian
+# payload length followed by one UTF-8 JSON object with a mandatory
+# ``"type"`` key. Results cross the wire as the *same* experiment
+# records the checkpoint stream uses (``experiment_record``), so wire
+# fidelity is pinned by the exact resume tests that pin checkpoint
+# fidelity — one codec, two transports.
+
+#: Upper bound on one frame's payload. Generous — a batched shard result
+#: for a large mesh is a few MB of sparse cells — but finite, so a
+#: corrupt or malicious length prefix cannot make a peer allocate
+#: unboundedly.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: The 4-byte big-endian unsigned length prefix of every frame.
+_FRAME_HEADER = struct.Struct(">I")
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """Encode one fabric message as a length-prefixed JSON frame.
+
+    Raises
+    ------
+    ValueError
+        If ``message`` lacks a ``"type"`` key or encodes past
+        :data:`MAX_FRAME_BYTES`.
+    """
+    if "type" not in message:
+        raise ValueError("fabric messages must carry a 'type' key")
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return _FRAME_HEADER.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> dict[str, Any]:
+    """Decode one frame *payload* (the length prefix already consumed).
+
+    Raises
+    ------
+    ValueError
+        If the payload is not a JSON object with a ``"type"`` key.
+    """
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ValueError("frame payload is not a typed fabric message")
+    return message
+
+
+def lease_record(lease) -> dict[str, Any]:
+    """Serialise one shard lease (:class:`repro.core.fabric.lease.Lease`)
+    as a JSON-compatible record — the coordinator's status surface and
+    the lease-table snapshot tests speak this."""
+    return {
+        "kind": "lease",
+        "shard_id": lease.shard_id,
+        "worker_id": lease.worker_id,
+        "deadline": lease.deadline,
+        "granted_at": lease.granted_at,
+        "renewals": lease.renewals,
+    }
+
+
+def lease_from_record(record: dict[str, Any]):
+    """Rebuild a :class:`repro.core.fabric.lease.Lease` from its record."""
+    from repro.core.fabric.lease import Lease
+
+    return Lease(
+        shard_id=record["shard_id"],
+        worker_id=record["worker_id"],
+        deadline=record["deadline"],
+        granted_at=record["granted_at"],
+        renewals=record["renewals"],
+    )
+
+
+def _pickle_b64(obj: Any) -> str:
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def _unpickle_b64(text: str) -> Any:
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+def fabric_setup_record(
+    campaign: Campaign,
+    chaos: Any = None,
+    trace: bool = False,
+    shard_timeout: float | None = None,
+) -> dict[str, Any]:
+    """The coordinator's ``welcome`` payload: everything a joining worker
+    needs to run shards — campaign spec, chaos schedule, trace flag,
+    watchdog deadline.
+
+    The campaign and chaos specs travel as base64 pickle: they are the
+    exact objects the process-pool initializer already ships to local
+    workers, and the fabric assumes the same trust domain as
+    :mod:`multiprocessing` (run workers only against coordinators you
+    trust).
+    """
+    return {
+        "kind": "fabric-setup",
+        "schema_version": SCHEMA_VERSION,
+        "campaign": _pickle_b64(campaign),
+        "chaos": _pickle_b64(chaos) if chaos is not None else None,
+        "trace": bool(trace),
+        "shard_timeout": shard_timeout,
+    }
+
+
+def fabric_setup_from_record(
+    record: dict[str, Any],
+) -> tuple[Campaign, Any, bool, float | None]:
+    """Decode a ``welcome`` setup payload back into
+    ``(campaign, chaos, trace, shard_timeout)``.
+
+    Raises
+    ------
+    ValueError
+        If the record is not a fabric setup or its schema version is
+        unknown.
+    """
+    if record.get("kind") != "fabric-setup":
+        raise ValueError("not a fabric setup record")
+    version = record.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported fabric setup schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    campaign = _unpickle_b64(record["campaign"])
+    raw_chaos = record["chaos"]
+    chaos = _unpickle_b64(raw_chaos) if raw_chaos is not None else None
+    return campaign, chaos, record["trace"], record["shard_timeout"]
 
 
 def read_checkpoint(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]]]:

@@ -90,5 +90,6 @@ def test_full_battery_ran():
         "array-broadcast",
         "array-shape-conservation",
         "array-alloc-in-loop",
+        "socket-discipline",
     }
     assert len(rule_catalog()) == len(ALL_RULES) + len(project_rules())

@@ -1,0 +1,191 @@
+"""Socket-discipline rule: every hazard fires, compliant code is clean."""
+
+from repro.checks.engine import run_project_checks
+from repro.checks.sockets import SOCKET_RULES
+
+
+def _findings(tmp_path):
+    return [
+        f
+        for f in run_project_checks([tmp_path], rules=SOCKET_RULES)
+        if f.rule == "socket-discipline"
+    ]
+
+
+class TestFabricAsyncSweep:
+    def test_unbounded_read_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.core.fabric.bad",
+            """
+            async def pump(reader):
+                return await reader.readexactly(4)
+            """,
+        )
+        findings = _findings(tmp_path)
+        assert len(findings) == 1
+        assert "readexactly" in findings[0].message
+        assert "wait_for" in findings[0].message
+
+    def test_unbounded_drain_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.core.fabric.bad",
+            """
+            async def flush(writer):
+                writer.write(b"x")
+                await writer.drain()
+            """,
+        )
+        assert len(_findings(tmp_path)) == 1
+
+    def test_unbounded_open_connection_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.core.fabric.bad",
+            """
+            import asyncio
+
+            async def dial(host, port):
+                return await asyncio.open_connection(host, port)
+            """,
+        )
+        assert len(_findings(tmp_path)) == 1
+
+    def test_wait_for_wrapped_read_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.core.fabric.good",
+            """
+            import asyncio
+
+            async def pump(reader, timeout):
+                return await asyncio.wait_for(reader.readexactly(4), timeout)
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_wait_for_none_timeout_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.core.fabric.bad",
+            """
+            import asyncio
+
+            async def pump(reader):
+                return await asyncio.wait_for(reader.readexactly(4), None)
+            """,
+        )
+        findings = _findings(tmp_path)
+        assert len(findings) == 1
+        assert "without a real timeout" in findings[0].message
+
+    def test_wait_for_missing_timeout_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.core.fabric.bad",
+            """
+            import asyncio
+
+            async def pump(reader):
+                return await asyncio.wait_for(reader.readexactly(4))
+            """,
+        )
+        assert len(_findings(tmp_path)) == 1
+
+    def test_outside_fabric_package_not_in_scope(
+        self, write_module, tmp_path
+    ):
+        # The async sweep governs the fabric package only; other async
+        # code in the tree is out of its jurisdiction.
+        write_module(
+            "repro.analysis.streamy",
+            """
+            async def pump(reader):
+                return await reader.readexactly(4)
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_non_peer_awaits_are_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.core.fabric.good",
+            """
+            import asyncio
+
+            async def tick(event):
+                await asyncio.sleep(0.1)
+                await event.wait()
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+
+class TestWorkerClosureSweep:
+    def test_socket_in_shard_closure_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.core.pool",
+            """
+            import socket
+
+            def _run_shard(shard):
+                return phone_home(shard)
+
+            def phone_home(shard):
+                conn = socket.create_connection(("10.0.0.1", 9))
+                return conn
+            """,
+        )
+        findings = _findings(tmp_path)
+        assert len(findings) == 1
+        assert "socket.create_connection" in findings[0].message
+        assert "worker-reachable" in findings[0].message
+
+    def test_create_connection_with_timeout_still_not_recv(
+        self, write_module, tmp_path
+    ):
+        # An explicit timeout= makes create_connection itself tolerable,
+        # but blocking .recv() on the result still fires.
+        write_module(
+            "repro.core.pool",
+            """
+            import socket
+
+            def _run_shard(shard):
+                conn = socket.create_connection(("10.0.0.1", 9), timeout=5.0)
+                return conn.recv(1024)
+            """,
+        )
+        findings = _findings(tmp_path)
+        assert len(findings) == 1
+        assert ".recv" in findings[0].message
+
+    def test_socket_outside_closure_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.core.pool",
+            """
+            import socket
+
+            def _run_shard(shard):
+                return shard
+
+            def unrelated_probe(host):
+                return socket.create_connection((host, 80))
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_suppression_comment_applies(self, write_module, tmp_path):
+        write_module(
+            "repro.core.pool",
+            """
+            import socket
+
+            def _run_shard(shard):
+                conn = socket.socket()  # repro: ignore[socket-discipline]
+                return conn
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+
+class TestSelfCompliance:
+    def test_shipped_fabric_package_is_clean(self):
+        # The rule's own subject matter: the real fabric package must
+        # carry zero findings, or the availability story is a lie.
+        findings = run_project_checks(["src/repro"], rules=SOCKET_RULES)
+        assert findings == []

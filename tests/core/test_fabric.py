@@ -1,0 +1,638 @@
+"""The distributed fabric under test: equivalence, chaos, and recovery.
+
+The fabric's contract is the executor's contract over a network: under
+every injected network failure — worker kill, heartbeat stall, frame
+truncation, duplicate result replay, coordinator SIGTERM + resume — a
+distributed campaign must complete *bit-identical* to the serial
+reference, with forfeited leases requeued and poison sites quarantined
+rather than aborting the sweep.
+
+Benign chaos modes (stall / replay / truncate) run against thread-hosted
+:class:`WorkerAgent` instances for speed; modes that kill the agent
+process (``drop``) and the coordinator crash/restart tests drive real
+``repro-fi worker`` subprocesses.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core import (
+    Campaign,
+    CampaignExecutionError,
+    ChaosAction,
+    ChaosSpec,
+    DistributedExecutor,
+    GemmWorkload,
+    ParallelExecutor,
+    RetryPolicy,
+    ShardTask,
+    WorkerAgent,
+    WorkerLost,
+    read_checkpoint,
+)
+from repro.core.fabric.lease import LeaseTable
+from repro.core.serialize import (
+    decode_frame,
+    encode_frame,
+    fabric_setup_from_record,
+    fabric_setup_record,
+    lease_from_record,
+    lease_record,
+)
+from repro.obs import MetricsRegistry, Observability
+from repro.systolic import Dataflow, MeshConfig
+
+from tests.core._support import assert_campaigns_equivalent
+
+MESH = MeshConfig(rows=4, cols=4)
+WORKLOAD = GemmWorkload.square(8, Dataflow.WEIGHT_STATIONARY)
+
+#: Fast deterministic backoff so chaos recovery stays quick.
+FAST_RETRY = RetryPolicy(max_retries=2, backoff_base=0.01, backoff_cap=0.05)
+
+#: Test-scale lease timing: short enough that forfeiture happens within
+#: a test, long enough that healthy heartbeats (0.3 s) always renew.
+LEASE = dict(lease_seconds=1.5, heartbeat_interval=0.3)
+
+
+def make_campaign(**kwargs) -> Campaign:
+    return Campaign(MESH, WORKLOAD, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def serial():
+    """The reference result of an unperturbed serial run."""
+    return make_campaign().run()
+
+
+def thread_fleet(n_workers: int, jobs: int = 1):
+    """An ``announce`` hook that launches ``n_workers`` in-process agents
+    the moment the coordinator reports its bound port."""
+    threads: list[threading.Thread] = []
+
+    def announce(host: str, port: int) -> None:
+        for _ in range(n_workers):
+            agent = WorkerAgent(
+                host,
+                port,
+                jobs=jobs,
+                reconnect_attempts=40,
+                reconnect_delay=0.25,
+            )
+            thread = threading.Thread(target=agent.run, daemon=True)
+            thread.start()
+            threads.append(thread)
+
+    return announce, threads
+
+
+def run_distributed(chaos: ChaosSpec | None = None, *, n_workers=2, **kwargs):
+    """One distributed campaign against a thread-hosted fleet; returns
+    ``(result, metrics)``."""
+    metrics = MetricsRegistry()
+    announce, threads = thread_fleet(n_workers)
+    kwargs.setdefault("retry", FAST_RETRY)
+    for key, value in LEASE.items():
+        kwargs.setdefault(key, value)
+    executor = DistributedExecutor(
+        expected_workers=n_workers,
+        announce=announce,
+        chaos=chaos,
+        obs=Observability(metrics=metrics),
+        **kwargs,
+    )
+    result = make_campaign().run(executor)
+    for thread in threads:
+        thread.join(timeout=30)
+    return result, metrics
+
+
+def free_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def spawn_cli_worker(port: int, *extra: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "worker",
+            "--connect",
+            f"127.0.0.1:{port}",
+            "--reconnect-attempts",
+            "60",
+            "--reconnect-delay",
+            "0.5",
+            *extra,
+        ],
+        env=env,
+        cwd="/root/repo",
+        # DEVNULL, not PIPE: the worker's spawn-context pool children
+        # inherit its stdio, so a pipe would stay open past the
+        # worker's own death and wedge any EOF-waiting reader.
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+# ----------------------------------------------------------------------
+# Wire codecs
+# ----------------------------------------------------------------------
+
+
+class TestFrameCodec:
+    def test_roundtrip(self):
+        message = {"type": "result", "shard_id": 3, "records": [1, 2]}
+        frame = encode_frame(message)
+        assert frame[:4] == (len(frame) - 4).to_bytes(4, "big")
+        assert decode_frame(frame[4:]) == message
+
+    def test_untyped_message_rejected(self):
+        with pytest.raises(ValueError, match="type"):
+            encode_frame({"shard_id": 3})
+
+    def test_undecodable_payload_rejected(self):
+        with pytest.raises(ValueError):
+            decode_frame(b"\xff\xfe not json")
+        with pytest.raises(ValueError, match="type"):
+            decode_frame(b'{"no_type": 1}')
+
+    def test_lease_record_roundtrip(self):
+        table = LeaseTable(lease_seconds=5.0)
+        lease = table.grant(7, 2, ShardTask(sites=[(0, 1)]), now=100.0)
+        assert lease_from_record(lease_record(lease)) == lease
+
+    def test_fabric_setup_roundtrip(self):
+        campaign = make_campaign()
+        chaos = ChaosSpec.build({(1, 1): ChaosAction("replay", times=None)})
+        record = fabric_setup_record(
+            campaign, chaos=chaos, trace=True, shard_timeout=4.0
+        )
+        back_campaign, back_chaos, trace, timeout = fabric_setup_from_record(
+            record
+        )
+        assert back_campaign.mesh == campaign.mesh
+        assert back_campaign.sites == campaign.sites
+        assert back_chaos == chaos
+        assert trace is True
+        assert timeout == 4.0
+
+    def test_setup_version_guard(self):
+        record = fabric_setup_record(make_campaign())
+        record["schema_version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            fabric_setup_from_record(record)
+
+
+# ----------------------------------------------------------------------
+# Lease table
+# ----------------------------------------------------------------------
+
+
+class TestLeaseTable:
+    def test_grant_holds_until_deadline(self):
+        table = LeaseTable(lease_seconds=2.0)
+        task = ShardTask(sites=[(0, 0), (0, 1)])
+        table.grant(1, 5, task, now=10.0)
+        assert table.holder(1).worker_id == 5
+        assert table.expired(now=11.9) == []
+        assert table.expired(now=12.0) == [1]
+
+    def test_renew_pushes_every_lease_of_the_worker(self):
+        table = LeaseTable(lease_seconds=2.0)
+        table.grant(1, 5, ShardTask(sites=[(0, 0)]), now=10.0)
+        table.grant(2, 5, ShardTask(sites=[(0, 1)]), now=10.0)
+        table.grant(3, 6, ShardTask(sites=[(0, 2)]), now=10.0)
+        assert table.renew(5, now=11.5) == 2
+        assert table.expired(now=12.5) == [3]
+        assert table.holder(1).renewals == 1
+
+    def test_release_returns_task_once(self):
+        table = LeaseTable(lease_seconds=2.0)
+        task = ShardTask(sites=[(0, 0)])
+        table.grant(1, 5, task, now=0.0)
+        assert table.release(1) is task
+        assert table.release(1) is None  # idempotent forfeiture
+        assert len(table) == 0
+
+    def test_held_by_and_outstanding_are_ordered(self):
+        table = LeaseTable(lease_seconds=2.0)
+        for shard_id in (3, 1, 2):
+            table.grant(shard_id, 9, ShardTask(sites=[(0, shard_id)]), 0.0)
+        assert table.held_by(9) == [1, 2, 3]
+        assert [t.sites for t in table.outstanding()] == [
+            [(0, 1)],
+            [(0, 2)],
+            [(0, 3)],
+        ]
+        assert [entry["shard_id"] for entry in table.snapshot()] == [1, 2, 3]
+
+    def test_rejects_nonpositive_lease(self):
+        with pytest.raises(ValueError, match="positive"):
+            LeaseTable(lease_seconds=0.0)
+
+
+# ----------------------------------------------------------------------
+# Executor validation
+# ----------------------------------------------------------------------
+
+
+class TestDistributedExecutorValidation:
+    def test_heartbeat_must_undercut_lease(self):
+        with pytest.raises(ValueError, match="shorter than lease_seconds"):
+            DistributedExecutor(lease_seconds=2.0, heartbeat_interval=2.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lease_seconds": 0.0},
+            {"heartbeat_interval": 0.0},
+            {"io_timeout": 0.0},
+            {"join_timeout": -1.0},
+        ],
+    )
+    def test_rejects_nonpositive_timings(self, kwargs):
+        with pytest.raises(ValueError, match="positive"):
+            DistributedExecutor(**kwargs)
+
+    def test_join_timeout_without_workers_raises_worker_lost(self):
+        executor = DistributedExecutor(
+            expected_workers=1, join_timeout=0.6, **LEASE
+        )
+        with pytest.raises(WorkerLost, match="join deadline"):
+            make_campaign().run(executor)
+
+
+# ----------------------------------------------------------------------
+# Equivalence: healthy fleet
+# ----------------------------------------------------------------------
+
+
+class TestDistributedEquivalence:
+    def test_two_workers_bit_identical_to_serial(self, serial):
+        result, metrics = run_distributed()
+        assert_campaigns_equivalent(serial, result)
+        assert metrics.value("repro_fabric_worker_joined_total") == 2.0
+        assert metrics.value("repro_fabric_worker_lost_total") == 0.0
+        assert metrics.value("repro_fabric_workers_connected") == 0.0
+        assert metrics.value("repro_fabric_leases_active") == 0.0
+
+    def test_single_worker_multiple_jobs(self, serial):
+        metrics = MetricsRegistry()
+        announce, threads = thread_fleet(1, jobs=2)
+        executor = DistributedExecutor(
+            expected_workers=1,
+            announce=announce,
+            retry=FAST_RETRY,
+            obs=Observability(metrics=metrics),
+            **LEASE,
+        )
+        result = make_campaign().run(executor)
+        for thread in threads:
+            thread.join(timeout=30)
+        assert_campaigns_equivalent(serial, result)
+
+    def test_checkpoint_stream_matches_parallel_format(self, tmp_path, serial):
+        path = tmp_path / "fabric.jsonl"
+        result, _ = run_distributed(checkpoint=path)
+        assert_campaigns_equivalent(serial, result)
+        header, records = read_checkpoint(path)
+        assert header["kind"] == "campaign-checkpoint"
+        assert len(records) == MESH.num_macs
+        # The stream is the parallel tier's own format: a plain
+        # ParallelExecutor resumes it to a complete, identical campaign.
+        resumed = make_campaign().run(ParallelExecutor(jobs=2, resume=path))
+        assert_campaigns_equivalent(serial, resumed)
+
+
+# ----------------------------------------------------------------------
+# Chaos: network fault modes
+# ----------------------------------------------------------------------
+
+
+class TestNetworkChaos:
+    def test_heartbeat_stall_forfeits_lease_and_drops_stale_result(
+        self, tmp_path, serial
+    ):
+        # One site stalls the agent past the lease deadline: renewal
+        # stops and the result is held back. The lease must expire and
+        # the shard requeue to the healthy worker; the stalled worker's
+        # silence is a forfeiture, not a connection loss.
+        chaos = ChaosSpec.build(
+            {(1, 2): ChaosAction("stall", times=1, seconds=4.0)},
+            state_dir=tmp_path,
+        )
+        result, metrics = run_distributed(chaos)
+        assert_campaigns_equivalent(serial, result)
+        assert metrics.value("repro_fabric_requeues_total") >= 1.0
+        assert (
+            metrics.value(
+                "repro_shard_failures_total", kind="lease-expired"
+            )
+            >= 1.0
+        )
+        assert metrics.value("repro_fabric_worker_lost_total") == 0.0
+
+    def test_duplicate_result_replay_is_dropped(self, tmp_path, serial):
+        chaos = ChaosSpec.build(
+            {(0, 3): ChaosAction("replay", times=1)}, state_dir=tmp_path
+        )
+        result, metrics = run_distributed(chaos)
+        assert_campaigns_equivalent(serial, result)
+        # >= not ==: on a starved host a heartbeat can slip past the
+        # short test lease, and the expiry adds a second (equally
+        # dropped) stale result on top of the injected duplicate.
+        assert metrics.value("repro_fabric_stale_results_total") >= 1.0
+        assert metrics.value("repro_fabric_worker_lost_total") == 0.0
+
+    def test_frame_truncation_loses_worker_and_requeues(
+        self, tmp_path, serial
+    ):
+        # A torn result frame severs the connection: the coordinator
+        # counts a lost worker immediately (not a slow lease expiry),
+        # forfeits its shards through the ladder, and the rest of the
+        # fleet completes the campaign bit-identically.
+        chaos = ChaosSpec.build(
+            {(2, 2): ChaosAction("truncate", times=1)}, state_dir=tmp_path
+        )
+        result, metrics = run_distributed(chaos)
+        assert_campaigns_equivalent(serial, result)
+        assert metrics.value("repro_fabric_worker_lost_total") >= 1.0
+        assert metrics.value("repro_fabric_requeues_total") >= 1.0
+        assert (
+            metrics.value("repro_shard_failures_total", kind="worker-lost")
+            >= 1.0
+        )
+
+    def test_worker_kill_drop_forfeits_to_surviving_worker(
+        self, tmp_path, serial
+    ):
+        # ``drop`` hard-kills the agent process (the remote analogue of
+        # a pool worker exit), so it runs against real subprocesses: one
+        # dies mid-lease, the survivor absorbs the forfeited shards.
+        chaos = ChaosSpec.build(
+            {(3, 1): ChaosAction("drop", times=1)}, state_dir=tmp_path
+        )
+        port = free_port()
+        workers = [spawn_cli_worker(port), spawn_cli_worker(port)]
+        metrics = MetricsRegistry()
+        try:
+            executor = DistributedExecutor(
+                port=port,
+                expected_workers=2,
+                retry=FAST_RETRY,
+                chaos=chaos,
+                obs=Observability(metrics=metrics),
+                **LEASE,
+            )
+            result = make_campaign().run(executor)
+            assert_campaigns_equivalent(serial, result)
+            assert metrics.value("repro_fabric_worker_lost_total") == 1.0
+            assert metrics.value("repro_fabric_requeues_total") >= 1.0
+            codes = [w.wait(timeout=30) for w in workers]
+            # The dropped agent exits 1; the drained survivor exits 0.
+            assert sorted(codes) == [0, 1]
+        finally:
+            for worker in workers:
+                if worker.poll() is None:
+                    worker.kill()
+                worker.wait(timeout=30)
+
+    def test_poison_site_quarantined_across_the_wire(self, serial):
+        # A persistently crashing site must be bisected down and
+        # quarantined — not abort the distributed sweep.
+        chaos = ChaosSpec.build(
+            {(2, 3): ChaosAction("raise", times=None)}
+        )
+        result, metrics = run_distributed(chaos)
+        assert result.quarantined_sites() == [(2, 3)]
+        assert not result.is_complete
+        failure = result.failures[0]
+        assert failure.site == (2, 3)
+        assert str(failure.kind) == "crash"
+        reference = {
+            (e.site.row, e.site.col): e for e in serial.experiments
+        }
+        for experiment in result.experiments:
+            key = (experiment.site.row, experiment.site.col)
+            assert experiment.classification == (
+                reference[key].classification
+            )
+        assert metrics.value("repro_quarantined_sites_total") == 1.0
+
+    def test_abort_mode_raises_typed_error(self):
+        chaos = ChaosSpec.build(
+            {(2, 3): ChaosAction("raise", times=None)}
+        )
+        metrics = MetricsRegistry()
+        announce, threads = thread_fleet(2)
+        executor = DistributedExecutor(
+            expected_workers=2,
+            announce=announce,
+            retry=FAST_RETRY,
+            on_error="abort",
+            chaos=chaos,
+            obs=Observability(metrics=metrics),
+            **LEASE,
+        )
+        with pytest.raises(CampaignExecutionError):
+            make_campaign().run(executor)
+        for thread in threads:
+            thread.join(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# Coordinator shutdown and crash recovery
+# ----------------------------------------------------------------------
+
+_SIGTERM_DRIVER = """\
+import sys, threading
+from repro.core import (
+    Campaign, CampaignInterrupted, ChaosAction, ChaosSpec,
+    DistributedExecutor, GemmWorkload, WorkerAgent,
+)
+from repro.systolic import Dataflow, MeshConfig
+
+
+def announce(host, port):
+    for _ in range(2):
+        agent = WorkerAgent(host, port, jobs=1,
+                            reconnect_attempts=40, reconnect_delay=0.25)
+        threading.Thread(target=agent.run, daemon=True).start()
+
+
+# __main__ guard: the thread-hosted agents' spawn-context pool children
+# re-import this module, and must not re-run the campaign.
+if __name__ == "__main__":
+    mesh = MeshConfig(rows=4, cols=4)
+    workload = GemmWorkload.square(8, Dataflow.WEIGHT_STATIONARY)
+    # Dilate every experiment so the campaign is reliably mid-flight
+    # when the signal arrives.
+    chaos = ChaosSpec.build(
+        {(r, c): ChaosAction("sleep", times=None, seconds=0.08)
+         for r in range(4) for c in range(4)}
+    )
+    executor = DistributedExecutor(
+        expected_workers=2, announce=announce, checkpoint=sys.argv[1],
+        lease_seconds=5.0, heartbeat_interval=0.5, chaos=chaos,
+    )
+    try:
+        Campaign(mesh, workload).run(executor)
+    except CampaignInterrupted as exc:
+        assert exc.checkpoint is not None
+        assert exc.remaining > 0
+        sys.exit(42)
+    sys.exit(0)
+"""
+
+_CRASH_DRIVER = """\
+import sys
+from repro.core import (
+    Campaign, ChaosAction, ChaosSpec, DistributedExecutor, GemmWorkload,
+)
+from repro.systolic import Dataflow, MeshConfig
+
+if __name__ == "__main__":
+    mesh = MeshConfig(rows=4, cols=4)
+    workload = GemmWorkload.square(8, Dataflow.WEIGHT_STATIONARY)
+    chaos = ChaosSpec.build(
+        {(r, c): ChaosAction("sleep", times=None, seconds=0.1)
+         for r in range(4) for c in range(4)}
+    )
+    executor = DistributedExecutor(
+        port=int(sys.argv[2]), expected_workers=2, checkpoint=sys.argv[1],
+        lease_seconds=5.0, heartbeat_interval=0.5, chaos=chaos,
+    )
+    Campaign(mesh, workload).run(executor)
+    sys.exit(0)
+"""
+
+
+def _driver_env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    return env
+
+
+def _wait_for_checkpoint_progress(path, proc, min_lines=3, timeout=90.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists() and len(path.read_text().splitlines()) >= min_lines:
+            return
+        if proc.poll() is not None:
+            return
+        time.sleep(0.02)
+    pytest.fail("campaign never made progress")
+
+
+class TestCoordinatorShutdown:
+    def test_sigterm_drains_to_resumable_checkpoint(self, tmp_path, serial):
+        driver = tmp_path / "driver.py"
+        driver.write_text(_SIGTERM_DRIVER)
+        path = tmp_path / "campaign.jsonl"
+        proc = subprocess.Popen(
+            [sys.executable, str(driver), str(path)],
+            env=_driver_env(),
+            cwd="/root/repo",
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            _wait_for_checkpoint_progress(path, proc)
+            proc.send_signal(signal.SIGTERM)
+            _, stderr = proc.communicate(timeout=90)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                # Bounded: thread-hosted agents' pool children inherit
+                # the driver's pipes and can outlive a hard kill.
+                with contextlib.suppress(subprocess.TimeoutExpired):
+                    proc.communicate(timeout=30)
+        assert proc.returncode == 42, stderr.decode()
+        header, records = read_checkpoint(path)
+        assert header["kind"] == "campaign-checkpoint"
+        assert 0 < len(records) < MESH.num_macs
+        # The --resume hint holds: a plain parallel resume completes the
+        # remainder, field-for-field identical to the serial reference.
+        resumed = make_campaign().run(ParallelExecutor(jobs=2, resume=path))
+        assert_campaigns_equivalent(serial, resumed)
+        _, records = read_checkpoint(path)
+        assert len(records) == MESH.num_macs
+
+    def test_coordinator_kill_and_resume_with_live_workers(
+        self, tmp_path, serial
+    ):
+        # Satellite: SIGKILL the coordinator mid-campaign while --stay
+        # workers hold leases; resume the checkpoint on the same port;
+        # the surviving fleet rejoins and the merged result is
+        # field-for-field identical to the uninterrupted serial run.
+        driver = tmp_path / "driver.py"
+        driver.write_text(_CRASH_DRIVER)
+        path = tmp_path / "campaign.jsonl"
+        port = free_port()
+        workers = [
+            spawn_cli_worker(port, "--stay"),
+            spawn_cli_worker(port, "--stay"),
+        ]
+        proc = subprocess.Popen(
+            [sys.executable, str(driver), str(path), str(port)],
+            env=_driver_env(),
+            cwd="/root/repo",
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            _wait_for_checkpoint_progress(path, proc)
+            proc.kill()  # SIGKILL: no drain, leases die with the process
+            proc.communicate()
+            _, records = read_checkpoint(path)
+            assert 0 < len(records) < MESH.num_macs
+            # Resume in-process on the same endpoint; the stay-workers'
+            # reconnect loops find the new coordinator on their own.
+            executor = DistributedExecutor(
+                port=port,
+                expected_workers=2,
+                resume=path,
+                retry=FAST_RETRY,
+                **LEASE,
+            )
+            resumed = make_campaign().run(executor)
+            assert_campaigns_equivalent(serial, resumed)
+            # Exactly one record per site: restore deduped, the fleet
+            # never re-executed completed work.
+            _, records = read_checkpoint(path)
+            assert len(records) == MESH.num_macs
+        finally:
+            for worker in workers:
+                if worker.poll() is None:
+                    worker.send_signal(signal.SIGTERM)
+            codes = []
+            for worker in workers:
+                try:
+                    codes.append(worker.wait(timeout=30))
+                except subprocess.TimeoutExpired:
+                    worker.kill()
+                    codes.append(worker.wait())
+        # SIGTERM'd stay-workers leave gracefully (bye), exit 0.
+        assert codes == [0, 0]
