@@ -1,28 +1,31 @@
-"""Socket discipline for the distributed fabric (``socket-discipline``).
+"""Socket discipline for the networked packages (``socket-discipline``).
 
-The fabric's availability story (``docs/distributed.md``) rests on one
-invariant: **no I/O operation ever waits on a peer without a deadline**.
-A single unbounded read in the coordinator or the worker agent turns a
-silent peer into a hung campaign — precisely the failure mode the lease
-protocol exists to convert into a requeue. This rule proves the
-invariant statically, in two sweeps:
+The availability story of both networked tiers — the distributed fabric
+(``docs/distributed.md``) and the campaign service (``docs/service.md``)
+— rests on one invariant: **no I/O operation ever waits on a peer
+without a deadline**. A single unbounded read in the coordinator, the
+worker agent, or an HTTP connection handler turns a silent peer into a
+hung campaign — precisely the failure mode leases and request timeouts
+exist to convert into forward progress. This rule proves the invariant
+statically, in two sweeps:
 
-* **Fabric async sweep** — in every module under ``repro.core.fabric``,
-  an ``await`` of a stream/socket operation whose completion depends on
-  a peer (``read``/``readline``/``readexactly``/``readuntil``,
-  ``drain``, ``recv``, ``accept``, ``connect``, ``sendall``,
-  ``open_connection``) must be wrapped *directly* in
-  :func:`asyncio.wait_for` with a real timeout — and any ``wait_for``
-  whose timeout is literally ``None`` is flagged too, since that is an
-  unbounded read with extra steps.
-* **Worker-closure sync sweep** — the process-pool closure reachable
-  from the discovered worker entries (the same entry discovery the
-  fork-safety battery uses, so ``_run_fabric_shard`` is covered) must
-  not open sockets at all: no ``socket.socket()``, no
+* **Async sweep** — in every module under the swept packages
+  (``repro.core.fabric`` and ``repro.service``), an ``await`` of a
+  stream/socket operation whose completion depends on a peer
+  (``read``/``readline``/``readexactly``/``readuntil``, ``drain``,
+  ``recv``, ``accept``, ``connect``, ``sendall``, ``open_connection``)
+  must be wrapped *directly* in :func:`asyncio.wait_for` with a real
+  timeout — and any ``wait_for`` whose timeout is literally ``None`` is
+  flagged too, since that is an unbounded read with extra steps.
+* **Worker/job-closure sync sweep** — the closure reachable from the
+  discovered worker entries (the same entry discovery the fork-safety
+  battery uses, so ``_run_fabric_shard`` is covered) *plus* the
+  service's job entry (``repro.service.jobs._run_job``) must not open
+  sockets at all: no ``socket.socket()``, no
   ``socket.create_connection()`` without an explicit ``timeout=``, no
-  raw ``.recv``/``.accept``/``.connect``/``.sendall`` calls. Shard
-  execution is pure compute; all networking belongs to the agent's
-  transport layer, where the async sweep governs it.
+  raw ``.recv``/``.accept``/``.connect``/``.sendall`` calls. Shard and
+  job execution are pure compute; all networking belongs to the
+  transport layers, where the async sweep governs it.
 """
 
 from __future__ import annotations
@@ -36,6 +39,9 @@ from repro.checks.graph import ProjectGraph
 
 __all__ = [
     "FABRIC_PACKAGE",
+    "SERVICE_PACKAGE",
+    "SWEPT_PACKAGES",
+    "JOB_ENTRY_QUALNAMES",
     "PEER_BOUND_AWAITS",
     "SYNC_SOCKET_CALLS",
     "SYNC_SOCKET_METHODS",
@@ -43,8 +49,19 @@ __all__ = [
     "SOCKET_RULES",
 ]
 
-#: Dotted package whose modules the async sweep covers.
+#: The distributed fabric package (the original swept tier).
 FABRIC_PACKAGE = "repro.core.fabric"
+
+#: The campaign service package (same discipline, same sweep).
+SERVICE_PACKAGE = "repro.service"
+
+#: Dotted packages whose modules the async sweep covers.
+SWEPT_PACKAGES = (FABRIC_PACKAGE, SERVICE_PACKAGE)
+
+#: Additional sync-sweep entry points beyond the fork-safety battery's
+#: worker entries: the service's job runner, whose reachable closure
+#: executes campaigns on a thread and must stay socket-free likewise.
+JOB_ENTRY_QUALNAMES = ("repro.service.jobs._run_job",)
 
 #: Awaited attribute calls whose completion depends on a remote peer.
 PEER_BOUND_AWAITS = frozenset(
@@ -115,21 +132,21 @@ class SocketDisciplineRule(ProjectRule):
     id = "socket-discipline"
     severity = Severity.ERROR
     description = (
-        "fabric code must bound every peer-facing await with "
-        "asyncio.wait_for, and the worker-reachable closure must not "
-        "touch sockets at all"
+        "fabric and service code must bound every peer-facing await "
+        "with asyncio.wait_for, and the worker/job-reachable closure "
+        "must not touch sockets at all"
     )
 
     def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
         yield from self._check_fabric_awaits(graph)
         yield from self._check_worker_closure(graph)
 
-    # -- fabric async sweep --------------------------------------------
+    # -- async sweep (fabric + service) --------------------------------
     def _check_fabric_awaits(self, graph: ProjectGraph) -> Iterator[Finding]:
         for mod_name in sorted(graph.modules):
-            if not (
-                mod_name == FABRIC_PACKAGE
-                or mod_name.startswith(FABRIC_PACKAGE + ".")
+            if not any(
+                mod_name == package or mod_name.startswith(package + ".")
+                for package in SWEPT_PACKAGES
             ):
                 continue
             module = graph.modules[mod_name]
@@ -169,6 +186,11 @@ class SocketDisciplineRule(ProjectRule):
         entries = [
             entry.qualname for entry in discover_worker_entries(graph)
         ]
+        entries.extend(
+            qualname
+            for qualname in JOB_ENTRY_QUALNAMES
+            if qualname in graph.functions
+        )
         chains = graph.reachable(entries)
         for qualname in sorted(chains):
             info = graph.functions[qualname]

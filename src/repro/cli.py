@@ -14,6 +14,12 @@ Four subcommands mirror the workflows of the paper:
     (``--connect HOST:PORT``) and execute shards it leases out; pairs
     with ``repro-fi campaign --fabric-listen HOST:PORT`` on the
     coordinator side (see ``docs/distributed.md``).
+``repro-fi serve``
+    Start the campaign service: an HTTP JSON API to submit campaign
+    specs as queued jobs, stream live progress over SSE, fetch
+    bit-identical result artefacts, and scrape Prometheus metrics, with
+    a crash-safe job registry (``--resume``) behind it (see
+    ``docs/service.md``).
 ``repro-fi predict``
     Analytically predict the fault pattern of one site for a GEMM shape —
     no simulation — and render it.
@@ -43,6 +49,8 @@ Examples
     repro-fi campaign --size 16 -j 4 --trace trace.json --metrics metrics.prom --progress
     repro-fi campaign --size 16 --fabric-listen 0.0.0.0:7311 --fabric-workers 4
     repro-fi worker --connect coordinator-host:7311 --jobs 4
+    repro-fi serve --listen 127.0.0.1:8100 --state-dir .repro-service
+    repro-fi serve --listen 127.0.0.1:8100 --state-dir .repro-service --resume
     repro-fi predict --m 112 --k 112 --n 112 --dataflow WS --row 5 --col 9
     repro-fi lint src/repro --format json
 """
@@ -386,6 +394,62 @@ def build_parser() -> argparse.ArgumentParser:
         "and serve the next coordinator on the same endpoint",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve the campaign HTTP API (jobs, SSE progress, metrics; "
+        "see docs/service.md)",
+    )
+    serve.add_argument(
+        "--listen",
+        type=_host_port,
+        default=("127.0.0.1", 8100),
+        metavar="HOST:PORT",
+        help="address to listen on (port 0 picks a free port; "
+        "default: 127.0.0.1:8100)",
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=".repro-service",
+        metavar="DIR",
+        help="job registry, per-job checkpoints, and result artefacts "
+        "live here (default: .repro-service)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore queued/running jobs from the state dir's registry "
+        "before listening (the crash-recovery path)",
+    )
+    serve.add_argument(
+        "--max-queued",
+        type=_positive_int,
+        default=16,
+        metavar="N",
+        help="bounded job-queue capacity; past it POST /campaigns "
+        "returns 429 (default: 16)",
+    )
+    serve.add_argument(
+        "--max-body-bytes",
+        type=_positive_int,
+        default=1024 * 1024,
+        metavar="BYTES",
+        help="request-body size cap (default: 1 MiB)",
+    )
+    serve.add_argument(
+        "--io-timeout",
+        type=_positive_float,
+        default=30.0,
+        metavar="SECONDS",
+        help="deadline for every peer-bound read/write (default: 30)",
+    )
+    serve.add_argument(
+        "--sse-interval",
+        type=_positive_float,
+        default=0.25,
+        metavar="SECONDS",
+        help="seconds between SSE progress frames (default: 0.25)",
+    )
+
     predict = sub.add_parser(
         "predict", help="analytically predict one fault pattern"
     )
@@ -628,6 +692,32 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         stay=args.stay,
     )
     return agent.run()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import CampaignService
+
+    host, port = args.listen
+
+    def announce(bound_host: str, bound_port: int) -> None:
+        print(
+            f"service listening on http://{bound_host}:{bound_port} "
+            f"(state: {args.state_dir})",
+            flush=True,
+        )
+
+    service = CampaignService(
+        host,
+        port,
+        args.state_dir,
+        resume=args.resume,
+        max_queued=args.max_queued,
+        max_body=args.max_body_bytes,
+        io_timeout=args.io_timeout,
+        sse_interval=args.sse_interval,
+        announce=announce,
+    )
+    return service.run()
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
@@ -899,10 +989,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    heartbeat = getattr(args, "heartbeat_interval", None)
+    lease = getattr(args, "lease_seconds", None)
+    if heartbeat is not None and lease is not None and heartbeat >= lease:
+        # A nonsensical pair used to surface as a raw executor traceback
+        # (or, worse, instant lease expiry); reject it at parse time.
+        parser.error(
+            f"--heartbeat-interval ({heartbeat:g}s) must be shorter than "
+            f"--lease-seconds ({lease:g}s); otherwise every lease expires "
+            f"between renewals"
+        )
     handlers = {
         "campaign": _cmd_campaign,
         "worker": _cmd_worker,
+        "serve": _cmd_serve,
         "predict": _cmd_predict,
         "atlas": _cmd_atlas,
         "statespace": _cmd_statespace,

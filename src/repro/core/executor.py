@@ -252,10 +252,30 @@ class SerialExecutor:
         Armed or not, the produced :class:`CampaignResult` is
         field-for-field identical — only the ``telemetry`` attachment and
         ``wall_seconds`` differ.
+    interrupt:
+        Optional cooperative-interrupt event (see
+        :class:`~repro.core.resilience.CampaignInterrupted`). When another
+        thread sets it — the service's cancel/drain path — the sweep stops
+        at the next site boundary and raises ``CampaignInterrupted`` with
+        a synthetic ``SIGINT``, exactly as Ctrl-C would.
     """
 
-    def __init__(self, obs: Observability | None = None) -> None:
+    def __init__(
+        self,
+        obs: Observability | None = None,
+        interrupt: threading.Event | None = None,
+    ) -> None:
         self.obs = obs if obs is not None else NULL_OBS
+        self.interrupt = interrupt
+
+    def _check_interrupt(self, completed: int, total: int) -> None:
+        if self.interrupt is not None and self.interrupt.is_set():
+            raise CampaignInterrupted(
+                signum=_signal_module.SIGINT,
+                checkpoint=None,
+                completed=completed,
+                remaining=total - completed,
+            )
 
     def execute(self, campaign: Campaign) -> CampaignResult:
         obs = self.obs
@@ -282,6 +302,7 @@ class SerialExecutor:
                 progress.begin(len(campaign.sites))
             try:
                 if campaign.supports_batching:
+                    self._check_interrupt(0, len(campaign.sites))
                     experiments = campaign.run_batch(
                         campaign.sites, golden, plan, geometry,
                         recorder=obs.recorder, metrics=obs.metrics,
@@ -294,6 +315,9 @@ class SerialExecutor:
                         progress.advance(len(experiments))
                 else:
                     for row, col in campaign.sites:
+                        self._check_interrupt(
+                            len(completed), len(campaign.sites)
+                        )
                         completed[(row, col)] = campaign.run_experiment(
                             row, col, golden, plan, geometry,
                             recorder=obs.recorder,
@@ -564,7 +588,10 @@ class _ShardDispatcher:
             self._start_pool()
             try:
                 while self.queue or self.in_flight:
-                    if self._signum is not None:
+                    interrupt = self.executor.interrupt
+                    if self._signum is not None or (
+                        interrupt is not None and interrupt.is_set()
+                    ):
                         self._graceful_shutdown()
                     self._submit_ready()
                     self._reap(self._wait_tick())
@@ -733,7 +760,9 @@ class _ShardDispatcher:
             )
 
     def _graceful_shutdown(self) -> None:
-        """SIGINT/SIGTERM arrived: drain, fsync, exit resumable."""
+        """SIGINT/SIGTERM (or the cooperative interrupt event) arrived:
+        drain, fsync, exit resumable. The interrupt-event path reports a
+        synthetic ``SIGINT`` — same contract, different messenger."""
         try:
             self._reap({f for f in self.in_flight if f.done()})
         except CampaignExecutionError:
@@ -741,9 +770,12 @@ class _ShardDispatcher:
         remaining = sum(len(task.sites) for task in self.queue) + sum(
             len(entry.task.sites) for entry in self.in_flight.values()
         )
-        assert self._signum is not None
+        signum = (
+            self._signum if self._signum is not None
+            else int(_signal_module.SIGINT)
+        )
         raise CampaignInterrupted(
-            signum=self._signum,
+            signum=signum,
             checkpoint=self.executor.checkpoint,
             completed=len(self.completed),
             remaining=remaining,
@@ -800,6 +832,12 @@ class ParallelExecutor:
         bundle (no overhead). When the recorder is armed, workers record
         their own spans and ship them back with each shard's results.
         Armed or not, campaign results are field-for-field identical.
+    interrupt:
+        Optional cooperative-interrupt event. Setting it from another
+        thread makes the dispatcher drain in-flight shards to the
+        checkpoint and raise :class:`CampaignInterrupted` with a
+        synthetic ``SIGINT`` — the service's cancel/drain seam, useful
+        anywhere signal delivery is unavailable (non-main threads).
     """
 
     def __init__(
@@ -814,6 +852,7 @@ class ParallelExecutor:
         on_error: OnError | str = OnError.QUARANTINE,
         chaos: ChaosSpec | None = None,
         obs: Observability | None = None,
+        interrupt: threading.Event | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -844,6 +883,9 @@ class ParallelExecutor:
         self.on_error = OnError(on_error) if isinstance(on_error, str) else on_error
         self.chaos = chaos
         self.obs = obs if obs is not None else NULL_OBS
+        #: Cooperative-interrupt event: when set by another thread, the
+        #: dispatcher runs the same drain-and-raise path a SIGINT would.
+        self.interrupt = interrupt
 
     # ------------------------------------------------------------------
     def _restore(

@@ -601,6 +601,15 @@ class Coordinator:
         assert self._done is not None
         while not self._done.is_set():
             await asyncio.sleep(self._tick_seconds)
+            interrupt = self.executor.interrupt
+            if (
+                self._signum is None
+                and interrupt is not None
+                and interrupt.is_set()
+            ):
+                # Cooperative interrupt (the service's cancel/drain seam):
+                # same orderly drain a delivered SIGINT triggers.
+                self._capture_signal(int(_signal_module.SIGINT))
             now = time.monotonic()
             for shard_id in self.leases.expired(now):
                 lease = self.leases.holder(shard_id)
@@ -692,6 +701,7 @@ class DistributedExecutor(ParallelExecutor):
         on_error: OnError | str = OnError.QUARANTINE,
         chaos: ChaosSpec | None = None,
         obs: Observability | None = None,
+        interrupt=None,
     ) -> None:
         super().__init__(
             jobs=expected_workers,
@@ -704,6 +714,7 @@ class DistributedExecutor(ParallelExecutor):
             on_error=on_error,
             chaos=chaos,
             obs=obs,
+            interrupt=interrupt,
         )
         if lease_seconds <= 0:
             raise ValueError(

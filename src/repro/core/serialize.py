@@ -27,7 +27,15 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.campaign import Campaign, CampaignResult, ExperimentResult
+from repro.core.campaign import (
+    Campaign,
+    CampaignResult,
+    ConvWorkload,
+    ExperimentResult,
+    FaultSpec,
+    FillKind,
+    GemmWorkload,
+)
 from repro.core.classifier import Classification, PatternClass
 from repro.core.fault_patterns import FaultPattern
 from repro.core.resilience import FailureKind, FailureRecord
@@ -35,6 +43,7 @@ from repro.faults.sites import FaultSite
 from repro.obs.metrics import MetricsRegistry
 from repro.ops.im2col import ConvGeometry
 from repro.ops.tiling import TilingPlan
+from repro.systolic import Dataflow, MeshConfig
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -61,6 +70,16 @@ __all__ = [
     "lease_from_record",
     "fabric_setup_record",
     "fabric_setup_from_record",
+    "SpecError",
+    "encode_campaign_spec",
+    "decode_campaign_spec",
+    "JOB_STATES",
+    "job_registry_header",
+    "job_record",
+    "job_from_record",
+    "read_job_registry",
+    "campaign_result_record",
+    "campaign_result_from_record",
 ]
 
 #: Schema version written into every artefact.
@@ -597,3 +616,573 @@ def read_checkpoint(path: str | Path) -> tuple[dict[str, Any], list[dict[str, An
             continue
         records.append(record)
     return header, records
+
+
+# ----------------------------------------------------------------------
+# Campaign spec codec (the service's POST /campaigns request body)
+# ----------------------------------------------------------------------
+#
+# A *spec* is the declarative, JSON-native description of a campaign plus
+# the executor that should run it — what a CLI invocation encodes in
+# flags, flattened into one typed document. The decoder is strict: every
+# unknown field, wrong type, or out-of-range value raises ``SpecError``
+# carrying the dotted path of the offending field, so an HTTP 400 can
+# point the caller at exactly the broken key instead of echoing a Python
+# traceback.
+
+
+class SpecError(ValueError):
+    """A campaign spec failed validation at ``path``."""
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        self.message = message
+        super().__init__(f"{path}: {message}" if path else message)
+
+
+_DATAFLOW_BY_VALUE = {d.value: d for d in Dataflow}
+_FILL_BY_VALUE = {f.value: f for f in FillKind}
+_ENGINES = ("functional", "cycle", "analytic")
+_EXECUTOR_KINDS = ("serial", "parallel", "fabric")
+
+#: Terminal and non-terminal job lifecycle states (see repro.service.jobs).
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+def _spec_mapping(value: Any, path: str) -> dict[str, Any]:
+    if not isinstance(value, dict):
+        raise SpecError(path, f"expected an object, got {type(value).__name__}")
+    return value
+
+
+def _spec_unknown(data: dict[str, Any], path: str, allowed: frozenset[str]) -> None:
+    for key in data:
+        if key not in allowed:
+            where = f"{path}.{key}" if path else str(key)
+            raise SpecError(where, "unknown field")
+
+
+def _spec_int(
+    data: dict[str, Any],
+    path: str,
+    field: str,
+    default: Any = ...,
+    minimum: int | None = None,
+) -> int:
+    if field not in data:
+        if default is ...:
+            raise SpecError(f"{path}.{field}" if path else field, "required field")
+        return default
+    value = data[field]
+    where = f"{path}.{field}" if path else field
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(where, f"expected an integer, got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        raise SpecError(where, f"must be >= {minimum}, got {value}")
+    return value
+
+
+def _spec_float(
+    data: dict[str, Any],
+    path: str,
+    field: str,
+    default: Any = ...,
+    positive: bool = False,
+) -> float:
+    if field not in data:
+        if default is ...:
+            raise SpecError(f"{path}.{field}" if path else field, "required field")
+        return default
+    value = data[field]
+    where = f"{path}.{field}" if path else field
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecError(where, f"expected a number, got {type(value).__name__}")
+    if positive and not value > 0:
+        raise SpecError(where, f"must be > 0, got {value}")
+    return float(value)
+
+
+def _spec_choice(
+    data: dict[str, Any],
+    path: str,
+    field: str,
+    choices,
+    default: Any = ...,
+) -> str:
+    if field not in data:
+        if default is ...:
+            raise SpecError(f"{path}.{field}" if path else field, "required field")
+        return default
+    value = data[field]
+    where = f"{path}.{field}" if path else field
+    if value not in choices:
+        raise SpecError(
+            where, f"must be one of {sorted(choices)}, got {value!r}"
+        )
+    return value
+
+
+def _decode_workload(data: dict[str, Any]) -> GemmWorkload | ConvWorkload:
+    workload = _spec_mapping(data, "workload")
+    op = _spec_choice(workload, "workload", "op", ("gemm", "conv"))
+    dataflow = _DATAFLOW_BY_VALUE[
+        _spec_choice(workload, "workload", "dataflow", _DATAFLOW_BY_VALUE, "WS")
+    ]
+    fill = _FILL_BY_VALUE[
+        _spec_choice(workload, "workload", "fill", _FILL_BY_VALUE, "ones")
+    ]
+    seed = _spec_int(workload, "workload", "seed", 0, minimum=0)
+    if op == "gemm":
+        _spec_unknown(
+            workload,
+            "workload",
+            frozenset({"op", "m", "k", "n", "dataflow", "fill", "seed"}),
+        )
+        return GemmWorkload(
+            m=_spec_int(workload, "workload", "m", minimum=1),
+            k=_spec_int(workload, "workload", "k", minimum=1),
+            n=_spec_int(workload, "workload", "n", minimum=1),
+            dataflow=dataflow,
+            fill=fill,
+            seed=seed,
+        )
+    _spec_unknown(
+        workload,
+        "workload",
+        frozenset({
+            "op", "input_size", "kernel", "dataflow", "batch",
+            "stride", "padding", "fill", "seed",
+        }),
+    )
+    kernel = workload.get("kernel")
+    if (
+        not isinstance(kernel, list)
+        or len(kernel) != 4
+        or any(isinstance(v, bool) or not isinstance(v, int) or v < 1 for v in kernel)
+    ):
+        raise SpecError(
+            "workload.kernel",
+            "expected the paper's [R, S, C, K] list of positive integers",
+        )
+    r, s, c, k = kernel
+    return ConvWorkload(
+        input_size=_spec_int(workload, "workload", "input_size", minimum=1),
+        kernel_rows=r,
+        kernel_cols=s,
+        in_channels=c,
+        out_channels=k,
+        dataflow=dataflow,
+        batch=_spec_int(workload, "workload", "batch", 1, minimum=1),
+        stride=_spec_int(workload, "workload", "stride", 1, minimum=1),
+        padding=_spec_int(workload, "workload", "padding", 0, minimum=0),
+        fill=fill,
+        seed=seed,
+    )
+
+
+def _decode_executor(data: Any) -> dict[str, Any]:
+    executor = _spec_mapping(data, "executor")
+    kind = _spec_choice(executor, "executor", "kind", _EXECUTOR_KINDS, "serial")
+    if kind == "serial":
+        _spec_unknown(executor, "executor", frozenset({"kind"}))
+        return {"kind": "serial"}
+    if kind == "parallel":
+        _spec_unknown(executor, "executor", frozenset({"kind", "jobs"}))
+        return {
+            "kind": "parallel",
+            "jobs": _spec_int(executor, "executor", "jobs", 2, minimum=1),
+        }
+    _spec_unknown(
+        executor,
+        "executor",
+        frozenset({
+            "kind", "host", "port", "workers", "lease_seconds",
+            "heartbeat_interval", "join_timeout",
+        }),
+    )
+    port = _spec_int(executor, "executor", "port", 0, minimum=0)
+    if port > 65535:
+        raise SpecError("executor.port", f"must be <= 65535, got {port}")
+    lease = _spec_float(executor, "executor", "lease_seconds", 10.0, positive=True)
+    heartbeat = _spec_float(
+        executor, "executor", "heartbeat_interval", 2.0, positive=True
+    )
+    if heartbeat >= lease:
+        raise SpecError(
+            "executor.heartbeat_interval",
+            f"({heartbeat}) must be shorter than lease_seconds ({lease}), "
+            f"or every lease expires between renewals",
+        )
+    host = executor.get("host", "127.0.0.1")
+    if not isinstance(host, str) or not host:
+        raise SpecError("executor.host", "expected a non-empty string")
+    return {
+        "kind": "fabric",
+        "host": host,
+        "port": port,
+        "workers": _spec_int(executor, "executor", "workers", 2, minimum=1),
+        "lease_seconds": lease,
+        "heartbeat_interval": heartbeat,
+        "join_timeout": _spec_float(
+            executor, "executor", "join_timeout", 60.0, positive=True
+        ),
+    }
+
+
+_SPEC_FIELDS = frozenset({
+    "schema_version", "kind", "mesh", "workload", "fault",
+    "engine", "sites", "keep_patterns", "executor",
+})
+
+
+def decode_campaign_spec(data: Any) -> tuple[Campaign, dict[str, Any]]:
+    """Validate a campaign spec and build ``(campaign, executor spec)``.
+
+    The executor spec comes back as a normalised plain dict (kind plus
+    kind-specific knobs, defaults filled in) rather than a constructed
+    executor: the job manager builds the real executor per *run*, wiring
+    in its own checkpoint path, interrupt event, and observability.
+
+    Raises
+    ------
+    SpecError
+        On any unknown field, wrong type, or out-of-range value; the
+        error's ``path`` names the offending field (``"workload.m"``).
+    """
+    spec = _spec_mapping(data, "")
+    _spec_unknown(spec, "", _SPEC_FIELDS)
+    version = spec.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise SpecError(
+            "schema_version",
+            f"unsupported campaign spec schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})",
+        )
+    kind = spec.get("kind", "campaign-spec")
+    if kind != "campaign-spec":
+        raise SpecError("kind", f"expected 'campaign-spec', got {kind!r}")
+
+    if "mesh" not in spec:
+        _missing("mesh")
+    mesh_data = _spec_mapping(spec["mesh"], "mesh")
+    _spec_unknown(mesh_data, "mesh", frozenset({"rows", "cols"}))
+    mesh = MeshConfig(
+        rows=_spec_int(mesh_data, "mesh", "rows", minimum=1),
+        cols=_spec_int(mesh_data, "mesh", "cols", minimum=1),
+    )
+
+    if "workload" not in spec:
+        _missing("workload")
+    workload = _decode_workload(spec["workload"])
+
+    fault_data = _spec_mapping(spec.get("fault", {}), "fault")
+    _spec_unknown(fault_data, "fault", frozenset({"signal", "bit", "stuck"}))
+    signal = fault_data.get("signal", FaultSpec().signal)
+    if not isinstance(signal, str):
+        raise SpecError("fault.signal", "expected a string")
+    try:
+        fault_spec = FaultSpec(
+            signal=signal,
+            bit=_spec_int(fault_data, "fault", "bit", FaultSpec().bit, minimum=0),
+            stuck_value=_spec_int(fault_data, "fault", "stuck", 1),
+        )
+    except (KeyError, ValueError) as exc:
+        if isinstance(exc, SpecError):
+            raise
+        raise SpecError("fault", str(exc)) from exc
+
+    engine = _spec_choice(spec, "", "engine", _ENGINES, "functional")
+
+    sites = spec.get("sites")
+    if sites is not None:
+        if not isinstance(sites, list):
+            raise SpecError("sites", "expected a list of [row, col] pairs or null")
+        decoded_sites: list[tuple[int, int]] = []
+        for index, site in enumerate(sites):
+            if (
+                not isinstance(site, list)
+                or len(site) != 2
+                or any(isinstance(v, bool) or not isinstance(v, int) for v in site)
+            ):
+                raise SpecError(f"sites[{index}]", "expected a [row, col] pair")
+            row, col = site
+            if not (0 <= row < mesh.rows and 0 <= col < mesh.cols):
+                raise SpecError(
+                    f"sites[{index}]",
+                    f"({row}, {col}) is outside the "
+                    f"{mesh.rows}x{mesh.cols} mesh",
+                )
+            decoded_sites.append((row, col))
+        sites = decoded_sites
+
+    keep_patterns = spec.get("keep_patterns", True)
+    if not isinstance(keep_patterns, bool):
+        raise SpecError("keep_patterns", "expected a boolean")
+
+    executor = _decode_executor(spec.get("executor", {"kind": "serial"}))
+    campaign = Campaign(
+        mesh,
+        workload,
+        fault_spec=fault_spec,
+        engine=engine,
+        sites=sites,
+        keep_patterns=keep_patterns,
+    )
+    return campaign, executor
+
+
+def _missing(field: str):
+    raise SpecError(field, "required field")
+
+
+def encode_campaign_spec(
+    campaign: Campaign, executor: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """Serialise a campaign (and optional executor spec) as a spec document.
+
+    ``decode_campaign_spec(encode_campaign_spec(c))`` rebuilds a campaign
+    with identical fields — the round-trip contract the codec tests pin.
+    """
+    workload = campaign.workload
+    if isinstance(workload, GemmWorkload):
+        workload_data: dict[str, Any] = {
+            "op": "gemm",
+            "m": workload.m,
+            "k": workload.k,
+            "n": workload.n,
+        }
+    else:
+        workload_data = {
+            "op": "conv",
+            "input_size": workload.input_size,
+            "kernel": list(workload.kernel_spec),
+            "batch": workload.batch,
+            "stride": workload.stride,
+            "padding": workload.padding,
+        }
+    workload_data["dataflow"] = workload.dataflow.value
+    workload_data["fill"] = workload.fill.value
+    workload_data["seed"] = workload.seed
+    data: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "campaign-spec",
+        "mesh": {"rows": campaign.mesh.rows, "cols": campaign.mesh.cols},
+        "workload": workload_data,
+        "fault": {
+            "signal": campaign.fault_spec.signal,
+            "bit": campaign.fault_spec.bit,
+            "stuck": campaign.fault_spec.stuck_value,
+        },
+        "engine": campaign.engine_kind,
+        "sites": [list(site) for site in campaign.sites],
+        "keep_patterns": campaign.keep_patterns,
+        "executor": dict(executor) if executor is not None else {"kind": "serial"},
+    }
+    return data
+
+
+# ----------------------------------------------------------------------
+# Job registry codec (append-only JSONL, one lifecycle snapshot per line)
+# ----------------------------------------------------------------------
+#
+# The service's job registry reuses the checkpoint stream's torn-write
+# discipline: a header line identifying the artefact, then one JSON
+# record per state transition, each a *full* snapshot of the job (id,
+# state, spec, error) so recovery needs only the last record per job.
+# Torn tails — the expected residue of a crashed server — are skipped
+# with a warning on read and healed by the writer before appending.
+
+
+def job_registry_header() -> dict[str, Any]:
+    """The identifying first line of a service job registry stream."""
+    return {"schema_version": SCHEMA_VERSION, "kind": "job-registry"}
+
+
+def job_record(
+    job_id: str,
+    seq: int,
+    state: str,
+    spec: dict[str, Any],
+    error: str | None = None,
+) -> dict[str, Any]:
+    """One lifecycle snapshot of a service job, JSON-compatible."""
+    if state not in JOB_STATES:
+        raise ValueError(f"unknown job state {state!r}")
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "job",
+        "job_id": job_id,
+        "seq": seq,
+        "state": state,
+        "spec": spec,
+        "error": error,
+    }
+
+
+_JOB_FIELDS = frozenset({
+    "schema_version", "kind", "job_id", "seq", "state", "spec", "error",
+})
+
+
+def job_from_record(record: dict[str, Any]) -> dict[str, Any]:
+    """Validate and normalise one job registry record.
+
+    Raises
+    ------
+    ValueError
+        If the record is not a job snapshot, carries an unknown schema
+        version or state, or has unknown/missing fields.
+    """
+    if not isinstance(record, dict) or record.get("kind") != "job":
+        raise ValueError("not a job record")
+    version = record.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported job record schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    unknown = set(record) - _JOB_FIELDS
+    if unknown:
+        raise ValueError(f"unknown job record fields: {sorted(unknown)}")
+    for field_name in ("job_id", "seq", "state", "spec"):
+        if field_name not in record:
+            raise ValueError(f"job record is missing {field_name!r}")
+    if record["state"] not in JOB_STATES:
+        raise ValueError(f"unknown job state {record['state']!r}")
+    if not isinstance(record["spec"], dict):
+        raise ValueError("job record spec must be an object")
+    return {
+        "job_id": record["job_id"],
+        "seq": record["seq"],
+        "state": record["state"],
+        "spec": record["spec"],
+        "error": record.get("error"),
+    }
+
+
+def read_job_registry(path: str | Path) -> list[dict[str, Any]]:
+    """Read a job registry stream: validated job snapshots in file order.
+
+    Mirrors :func:`read_checkpoint`: a torn or corrupt record line is
+    skipped with a :class:`RuntimeWarning` (recovery proceeds from the
+    snapshots that did land), while a corrupt *header* raises — nothing
+    downstream can be trusted without it.
+
+    Raises
+    ------
+    FileNotFoundError
+        If ``path`` does not exist.
+    ValueError
+        If the file is empty, the header line is not valid JSON, the
+        file is not a job registry, or the schema version is unknown.
+    """
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    stripped = [(i + 1, line) for i, line in enumerate(lines) if line.strip()]
+    if not stripped:
+        raise ValueError(f"job registry {path} is empty")
+    header_lineno, header_line = stripped[0]
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"job registry {path} has a corrupt header line: {exc}"
+        ) from exc
+    if not isinstance(header, dict) or header.get("kind") != "job-registry":
+        raise ValueError(f"{path} is not a job registry stream")
+    version = header.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported job registry schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    records: list[dict[str, Any]] = []
+    for lineno, line in stripped[1:]:
+        try:
+            records.append(job_from_record(json.loads(line)))
+        except (json.JSONDecodeError, ValueError) as exc:
+            warnings.warn(
+                f"skipping corrupt job registry record at {path}:{lineno} "
+                f"({exc})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return records
+
+
+# ----------------------------------------------------------------------
+# Campaign result artefact (the service's GET /campaigns/{id}/result body)
+# ----------------------------------------------------------------------
+
+
+def campaign_result_record(result: CampaignResult) -> dict[str, Any]:
+    """Serialise a campaign result at checkpoint (full) fidelity.
+
+    Unlike :func:`campaign_to_dict` — the archival summary — this stores
+    the classification evidence and sparse deviation cells of every
+    experiment verbatim (via :func:`experiment_record`), so a client
+    holding the same campaign spec can rebuild a ``CampaignResult`` that
+    is field-for-field identical to the run that produced it.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "campaign-result",
+        "workload": result.workload.describe(),
+        "operation": str(result.workload.operation),
+        "mesh": {"rows": result.mesh.rows, "cols": result.mesh.cols},
+        "fault_spec": {
+            "signal": result.fault_spec.signal,
+            "bit": result.fault_spec.bit,
+            "stuck_value": result.fault_spec.stuck_value,
+        },
+        "wall_seconds": result.wall_seconds,
+        "telemetry": result.telemetry,
+        "experiments": [experiment_record(e) for e in result.experiments],
+        "failures": [failure_record(f) for f in result.failures],
+    }
+
+
+def campaign_result_from_record(
+    data: dict[str, Any], campaign: Campaign
+) -> CampaignResult:
+    """Rebuild a full-fidelity :class:`CampaignResult` from its artefact.
+
+    The golden context (output, plan, geometry) is *recomputed* from
+    ``campaign`` — the artefact ships only the sparse per-experiment
+    evidence, exactly like a checkpoint stream, and the golden run is
+    deterministic given the spec.
+
+    Raises
+    ------
+    ValueError
+        If the artefact is not a campaign result or carries an unknown
+        schema version.
+    """
+    if not isinstance(data, dict) or data.get("kind") != "campaign-result":
+        raise ValueError("not a campaign result artefact")
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported campaign result schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    golden, plan, geometry = campaign.golden_run()
+    shape = golden.shape if campaign.keep_patterns else None
+    experiments = [
+        experiment_from_record(
+            record, shape=shape, plan=plan, geometry=geometry
+        )
+        for record in data["experiments"]
+    ]
+    return CampaignResult(
+        workload=campaign.workload,
+        fault_spec=campaign.fault_spec,
+        mesh=campaign.mesh,
+        golden=golden,
+        plan=plan,
+        geometry=geometry,
+        experiments=experiments,
+        wall_seconds=data["wall_seconds"],
+        failures=[failure_from_record(f) for f in data["failures"]],
+        telemetry=data.get("telemetry"),
+    )

@@ -36,7 +36,7 @@ from repro.obs.metrics import (
     NULL_METRICS,
     parse_prometheus,
 )
-from repro.obs.progress import ProgressReporter, format_eta
+from repro.obs.progress import ProgressReporter, format_eta, progress_snapshot
 from repro.obs.trace import (
     NullRecorder,
     NULL_RECORDER,
@@ -57,6 +57,7 @@ __all__ = [
     "parse_prometheus",
     "ProgressReporter",
     "format_eta",
+    "progress_snapshot",
     "NullRecorder",
     "NULL_RECORDER",
     "TraceRecorder",

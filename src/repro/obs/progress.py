@@ -17,7 +17,7 @@ import sys
 import time
 from typing import TextIO
 
-__all__ = ["ProgressReporter", "format_eta"]
+__all__ = ["ProgressReporter", "format_eta", "progress_snapshot"]
 
 
 def format_eta(seconds: float) -> str:
@@ -28,6 +28,35 @@ def format_eta(seconds: float) -> str:
     hours, remainder = divmod(whole, 3600)
     minutes, secs = divmod(remainder, 60)
     return f"{hours}:{minutes:02d}:{secs:02d}"
+
+
+def progress_snapshot(metrics, elapsed_seconds: float) -> dict:
+    """One JSON-compatible reading of a campaign's progress counters.
+
+    This is the machine-readable sibling of :class:`ProgressReporter`'s
+    line — same fields (done/total, sites/s, ETA, retries, quarantined),
+    sourced from the same :mod:`repro.obs.metrics` instruments the
+    executors maintain. The service's SSE stream emits exactly this
+    shape, so the anatomy is pinned here, next to the human rendering.
+
+    ``eta_seconds`` is ``None`` (not infinity — JSON has no infinity)
+    until a rate is measurable; ``eta`` always carries the formatted
+    ``h:mm:ss``/``--:--:--`` string.
+    """
+    total = int(metrics.value("repro_sites_total"))
+    done = int(metrics.value("repro_sites_completed_total"))
+    rate = done / elapsed_seconds if elapsed_seconds > 0 and done > 0 else 0.0
+    remaining = max(total - done, 0)
+    eta_seconds = remaining / rate if rate > 0 else None
+    return {
+        "done": done,
+        "total": total,
+        "sites_per_s": round(rate, 3),
+        "eta_seconds": None if eta_seconds is None else round(eta_seconds, 3),
+        "eta": format_eta(eta_seconds if eta_seconds is not None else float("inf")),
+        "retries": int(metrics.value("repro_shard_retries_total")),
+        "quarantined": int(metrics.value("repro_quarantined_sites_total")),
+    }
 
 
 class ProgressReporter:

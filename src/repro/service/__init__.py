@@ -1,0 +1,31 @@
+"""Campaign-as-a-service: the HTTP front door over the executor stack.
+
+The fabric (``repro.core.fabric``) scales one campaign across machines;
+this package turns campaigns into *jobs* behind a zero-dependency HTTP
+API — submit a spec, watch live progress over SSE, fetch the
+bit-identical result artefact — with a crash-safe job registry and the
+same socket discipline, chaos coverage, and torn-write hygiene as the
+rest of the runtime. See ``docs/service.md``.
+"""
+
+from repro.service.http import HttpError, HttpRequest
+from repro.service.jobs import (
+    Job,
+    JobConflict,
+    JobManager,
+    QueueFull,
+    UnknownJob,
+)
+from repro.service.server import SERVICE_CHAOS_SITE, CampaignService
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "Job",
+    "JobConflict",
+    "JobManager",
+    "QueueFull",
+    "UnknownJob",
+    "SERVICE_CHAOS_SITE",
+    "CampaignService",
+]

@@ -1,0 +1,192 @@
+"""Minimal HTTP/1.1 request/response handling on asyncio streams.
+
+The service speaks just enough HTTP for its JSON API: one request per
+connection (``Connection: close``), ``Content-Length`` bodies only, and
+an explicit size cap so no client can make the server buffer unboundedly.
+Hand-rolled on :mod:`asyncio` streams for the same reason the fabric is —
+the repro ships zero dependencies — and under the same socket discipline:
+every peer-bound read and drain sits inside ``asyncio.wait_for`` with a
+finite deadline (enforced statically by the ``socket-discipline`` lint
+pass, which sweeps this package alongside ``repro.core.fabric``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, unquote
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "STATUS_REASONS",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_LINES",
+    "read_request",
+    "render_response",
+    "json_response",
+    "write_payload",
+]
+
+#: Default cap on one request body. The largest legitimate body is a
+#: campaign spec with an explicit site list — a few hundred KB for a
+#: large mesh — so 1 MiB is generous without being exploitable.
+MAX_BODY_BYTES = 1024 * 1024
+
+#: Cap on header lines per request; past this the request is malformed.
+MAX_HEADER_LINES = 100
+
+STATUS_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+class HttpError(Exception):
+    """A request the server refuses, carrying the HTTP status to send."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        self.status = status
+        self.detail = detail
+        super().__init__(f"{status} {STATUS_REASONS.get(status, '')}: {detail}")
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, decoded path, query, headers, body."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body parsed as JSON; raises :class:`HttpError` 400 if not."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    timeout: float,
+    max_body: int = MAX_BODY_BYTES,
+) -> HttpRequest | None:
+    """Read one request off ``reader``; ``None`` on clean EOF.
+
+    Raises
+    ------
+    HttpError
+        408 when the peer stalls past ``timeout``, 413 when the declared
+        body exceeds ``max_body``, 501 for chunked bodies, 400 for
+        anything malformed or truncated.
+    """
+    try:
+        line = await asyncio.wait_for(reader.readline(), timeout)
+    except (asyncio.TimeoutError, TimeoutError):
+        raise HttpError(408, "timed out waiting for the request line")
+    except ValueError:
+        raise HttpError(400, "request line too long")
+    if not line:
+        return None
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError:
+        raise HttpError(400, "malformed request line")
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADER_LINES):
+        try:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            raise HttpError(408, "timed out reading request headers")
+        except ValueError:
+            raise HttpError(400, "header line too long")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, f"more than {MAX_HEADER_LINES} header lines")
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked request bodies are not supported")
+    body = b""
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+        if length < 0:
+            raise ValueError
+    except ValueError:
+        raise HttpError(400, f"malformed Content-Length {raw_length!r}")
+    if length > max_body:
+        raise HttpError(
+            413,
+            f"request body of {length} bytes exceeds the "
+            f"{max_body}-byte cap",
+        )
+    if length:
+        try:
+            body = await asyncio.wait_for(reader.readexactly(length), timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            raise HttpError(408, "timed out reading the request body")
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "request body shorter than Content-Length")
+
+    raw_path, _, raw_query = target.partition("?")
+    return HttpRequest(
+        method=method.upper(),
+        path=unquote(raw_path),
+        query=dict(parse_qsl(raw_query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """Render one complete HTTP/1.1 response as bytes."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(status: int, payload: Any) -> bytes:
+    """Render a JSON response (two-space indent: curl-friendly)."""
+    body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    return render_response(status, body)
+
+
+async def write_payload(
+    writer: asyncio.StreamWriter, payload: bytes, timeout: float
+) -> None:
+    """Write ``payload`` and drain under the socket-discipline deadline."""
+    writer.write(payload)
+    await asyncio.wait_for(writer.drain(), timeout)

@@ -1,0 +1,387 @@
+"""The campaign service: asyncio HTTP front door over the job manager.
+
+``repro-fi serve --listen HOST:PORT`` starts one of these. The API:
+
+========  ===========================  =====================================
+Method    Path                         Meaning
+========  ===========================  =====================================
+POST      /campaigns                   Submit a campaign spec -> 201 + job
+GET       /campaigns                   List jobs (submission order)
+GET       /campaigns/{id}              One job's state
+GET       /campaigns/{id}/events       SSE progress stream to completion
+GET       /campaigns/{id}/result       The result artefact (done jobs)
+DELETE    /campaigns/{id}              Cancel (queued: now; running: co-op)
+GET       /metrics                     Prometheus exposition
+========  ===========================  =====================================
+
+Lifecycle mirrors the fabric coordinator: signal handlers only on the
+main thread, ``start_server`` with the bound port read back for
+``announce``, handler tasks tracked and drained under a bounded wait,
+and SIGINT/SIGTERM triggering an orderly drain — the running job is
+interrupted at a shard boundary (checkpointed, resumable) and queued
+work is preserved in the registry for ``serve --resume``.
+
+The ``repro.core.chaos`` network modes are wired straight into the
+transport for deterministic fault coverage: a ``ChaosSpec`` whose
+schedule targets :data:`SERVICE_CHAOS_SITE` makes the server drop,
+truncate, stall, or replay whole HTTP exchanges, budgeted and fsynced
+exactly like the fabric's wire chaos.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal as _signal_module
+import threading
+from pathlib import Path
+from typing import Callable
+
+from repro.core.chaos import ChaosAction, ChaosSpec
+from repro.core.serialize import (
+    JOB_STATES,
+    SpecError,
+    decode_campaign_spec,
+    encode_campaign_spec,
+)
+from repro.obs import MetricsRegistry
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    HttpError,
+    HttpRequest,
+    json_response,
+    read_request,
+    render_response,
+    write_payload,
+)
+from repro.service.jobs import JobConflict, JobManager, QueueFull, UnknownJob
+from repro.service.sse import SSE_HEADER, stream_job
+
+__all__ = ["SERVICE_CHAOS_SITE", "CampaignService"]
+
+#: The well-known chaos-schedule coordinate for the HTTP transport: a
+#: ``ChaosSpec`` entry at this site fires once per request cycle, the
+#: way per-(row, col) entries fire per shard on the fabric's wire.
+SERVICE_CHAOS_SITE = (0, 0)
+
+
+class CampaignService:
+    """One HTTP server + job manager, bound to a state directory.
+
+    Parameters
+    ----------
+    host, port:
+        Listening address; port ``0`` picks a free port (read it back
+        through ``announce`` or ``self.port``).
+    state_dir:
+        Home of the job registry, per-job campaign checkpoints, and
+        result artefacts. Survives the process — it *is* the resume
+        story.
+    resume:
+        Restore queued/running jobs from the registry before listening.
+    max_queued:
+        Bounded-queue capacity; past it ``POST /campaigns`` returns 429.
+    max_body:
+        Request-body size cap in bytes.
+    io_timeout:
+        Deadline for every peer-bound read/write (socket discipline).
+    sse_interval:
+        Seconds between SSE ``progress`` frames.
+    chaos:
+        Network chaos schedule for the HTTP transport (test-only); see
+        :data:`SERVICE_CHAOS_SITE`.
+    job_chaos:
+        Chaos schedule threaded into every job's executor (test-only).
+    announce:
+        ``callable(host, port)`` invoked once listening.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        state_dir: str | Path = ".repro-service",
+        *,
+        resume: bool = False,
+        max_queued: int = 16,
+        max_body: int = MAX_BODY_BYTES,
+        io_timeout: float = 30.0,
+        sse_interval: float = 0.25,
+        chaos: ChaosSpec | None = None,
+        job_chaos: ChaosSpec | None = None,
+        announce: Callable[[str, int], None] | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.manager = JobManager(
+            state_dir, max_queued=max_queued, job_chaos=job_chaos
+        )
+        self.resume = resume
+        self.max_body = max_body
+        self.io_timeout = io_timeout
+        self.sse_interval = sse_interval
+        self.chaos = chaos
+        self.announce = announce
+        self.metrics = MetricsRegistry()
+        self._done: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._handler_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle -------------------------------------------------------
+    def run(self) -> int:
+        """Serve until a signal or :meth:`shutdown`; returns exit code 0."""
+        return asyncio.run(self.serve())
+
+    def shutdown(self) -> None:
+        """Thread-safe orderly-shutdown trigger (the in-process tests'
+        stand-in for SIGTERM)."""
+        loop, done = self._loop, self._done
+        if loop is not None and done is not None:
+            loop.call_soon_threadsafe(done.set)
+
+    async def serve(self) -> int:
+        self._done = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        installed: list[int] = []
+        if threading.current_thread() is threading.main_thread():
+            for signum in (_signal_module.SIGINT, _signal_module.SIGTERM):
+                try:
+                    self._loop.add_signal_handler(signum, self._done.set)
+                    installed.append(signum)
+                except (NotImplementedError, RuntimeError):
+                    break
+        self.manager.open(resume=self.resume)
+        server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        if self.announce is not None:
+            self.announce(self.host, self.port)
+        runner = asyncio.create_task(self.manager.run(self._done))
+        try:
+            await self._done.wait()
+        finally:
+            server.close()
+            # Drain: interrupt the running job (it checkpoints and goes
+            # back to queued), then let the scheduler loop notice stop.
+            self.manager.drain()
+            await asyncio.gather(runner, return_exceptions=True)
+            handlers = list(self._handler_tasks)
+            if handlers:
+                try:
+                    await asyncio.wait_for(
+                        asyncio.gather(*handlers, return_exceptions=True),
+                        self.io_timeout,
+                    )
+                except (asyncio.TimeoutError, TimeoutError):
+                    for task in handlers:
+                        task.cancel()
+            await server.wait_closed()
+            for signum in installed:
+                self._loop.remove_signal_handler(signum)
+            self.manager.close()
+        return 0
+
+    # -- connection handling ---------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+        status = 500
+        method = "-"
+        try:
+            try:
+                request = await read_request(
+                    reader, self.io_timeout, self.max_body
+                )
+            except HttpError as exc:
+                status = exc.status
+                await self._respond_error(writer, exc)
+                return
+            if request is None:
+                status = 0
+                return
+            method = request.method
+            action = (
+                self.chaos.fire_net(SERVICE_CHAOS_SITE)
+                if self.chaos is not None
+                else None
+            )
+            if action is not None and action.kind == "drop":
+                # Drop: the request is never processed — the transport
+                # dies mid-exchange and the client sees a reset.
+                status = 0
+                writer.transport.abort()
+                return
+            if action is not None and action.kind == "stall":
+                await asyncio.sleep(action.seconds)
+                action = None
+            try:
+                status = await self._route(request, writer, action)
+            except HttpError as exc:
+                status = exc.status
+                await self._respond_error(writer, exc)
+        except (
+            ConnectionError,
+            OSError,
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            TimeoutError,
+        ):
+            pass  # peer gone or stalled; nothing to say to it
+        finally:
+            if status:
+                self.metrics.counter(
+                    "repro_service_requests_total",
+                    "HTTP requests served, by method and status.",
+                    method=method,
+                    status=str(status),
+                ).inc()
+            await self._close_writer(writer)
+
+    async def _respond_error(
+        self, writer: asyncio.StreamWriter, exc: HttpError
+    ) -> None:
+        payload = json_response(exc.status, {"error": exc.detail})
+        await write_payload(writer, payload, self.io_timeout)
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+            await asyncio.wait_for(writer.wait_closed(), 5.0)
+        except (
+            ConnectionError,
+            OSError,
+            RuntimeError,
+            asyncio.TimeoutError,
+            TimeoutError,
+        ):
+            pass
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        payload: bytes,
+        action: ChaosAction | None,
+    ) -> None:
+        """Write a complete response, applying truncate/replay chaos."""
+        if action is not None and action.kind == "truncate":
+            # Torn response: half the bytes, then a hard reset — the
+            # client's Content-Length arithmetic surfaces the tear.
+            await write_payload(
+                writer, payload[: max(1, len(payload) // 2)], self.io_timeout
+            )
+            writer.transport.abort()
+            return
+        if action is not None and action.kind == "replay":
+            # Duplicate delivery: a Content-Length-honouring client
+            # reads exactly one copy and never notices.
+            await write_payload(writer, payload + payload, self.io_timeout)
+            return
+        await write_payload(writer, payload, self.io_timeout)
+
+    # -- routing ---------------------------------------------------------
+    async def _route(
+        self,
+        request: HttpRequest,
+        writer: asyncio.StreamWriter,
+        action: ChaosAction | None,
+    ) -> int:
+        parts = [part for part in request.path.split("/") if part]
+        if parts == ["metrics"]:
+            if request.method != "GET":
+                raise HttpError(405, "only GET /metrics")
+            payload = render_response(
+                200,
+                self._render_metrics().encode("utf-8"),
+                content_type="text/plain; version=0.0.4",
+            )
+            await self._send(writer, payload, action)
+            return 200
+        if not parts or parts[0] != "campaigns" or len(parts) > 3:
+            raise HttpError(404, f"no such resource {request.path!r}")
+
+        manager = self.manager
+        if len(parts) == 1:
+            if request.method == "POST":
+                job = self._submit(request)
+                payload = json_response(201, manager.summary(job))
+                await self._send(writer, payload, action)
+                return 201
+            if request.method == "GET":
+                payload = json_response(200, {
+                    "jobs": [manager.summary(job) for job in manager.jobs()],
+                })
+                await self._send(writer, payload, action)
+                return 200
+            raise HttpError(405, "only GET and POST /campaigns")
+
+        try:
+            job = manager.get(parts[1])
+        except UnknownJob:
+            raise HttpError(404, f"no such job {parts[1]!r}")
+
+        if len(parts) == 2:
+            if request.method == "GET":
+                detail = manager.summary(job)
+                detail["spec"] = job.spec
+                detail["progress"] = manager.progress_snapshot(job)
+                await self._send(writer, json_response(200, detail), action)
+                return 200
+            if request.method == "DELETE":
+                try:
+                    manager.cancel(job.job_id)
+                except JobConflict as exc:
+                    raise HttpError(409, str(exc))
+                payload = json_response(200, manager.summary(job))
+                await self._send(writer, payload, action)
+                return 200
+            raise HttpError(405, "only GET and DELETE /campaigns/{id}")
+
+        if parts[2] == "events" and request.method == "GET":
+            writer.write(SSE_HEADER)
+            await asyncio.wait_for(writer.drain(), self.io_timeout)
+            await stream_job(
+                writer, manager, job, self.sse_interval, self.io_timeout
+            )
+            return 200
+        if parts[2] == "result" and request.method == "GET":
+            if job.state != "done":
+                raise HttpError(
+                    409,
+                    f"{job.job_id} is {job.state}"
+                    + (f": {job.error}" if job.error else ""),
+                )
+            payload = render_response(200, manager.result_payload(job))
+            await self._send(writer, payload, action)
+            return 200
+        raise HttpError(404, f"no such resource {request.path!r}")
+
+    def _submit(self, request: HttpRequest):
+        try:
+            campaign, executor = decode_campaign_spec(request.json())
+        except SpecError as exc:
+            raise HttpError(400, str(exc))
+        # Store the canonical re-encoding, not the raw body: defaults
+        # filled in, sites explicit — what you GET is what will run.
+        spec = encode_campaign_spec(campaign, executor)
+        try:
+            return self.manager.submit(spec)
+        except QueueFull as exc:
+            raise HttpError(429, str(exc))
+
+    # -- metrics ---------------------------------------------------------
+    def _render_metrics(self) -> str:
+        counts = {state: 0 for state in JOB_STATES}
+        for job in self.manager.jobs():
+            counts[job.state] += 1
+        for state, count in counts.items():
+            self.metrics.gauge(
+                "repro_service_jobs",
+                "Jobs known to the service, by lifecycle state.",
+                state=state,
+            ).set(count)
+        return self.metrics.render_prometheus()

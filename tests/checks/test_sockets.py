@@ -115,6 +115,78 @@ class TestFabricAsyncSweep:
         assert _findings(tmp_path) == []
 
 
+class TestServiceAsyncSweep:
+    """The async sweep covers ``repro.service`` with the same rules as
+    the fabric package — the HTTP front door is peer-facing too."""
+
+    def test_unbounded_read_in_service_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.service.bad",
+            """
+            async def pump(reader):
+                return await reader.readline()
+            """,
+        )
+        findings = _findings(tmp_path)
+        assert len(findings) == 1
+        assert "readline" in findings[0].message
+
+    def test_unbounded_drain_in_service_fires(self, write_module, tmp_path):
+        write_module(
+            "repro.service.bad",
+            """
+            async def flush(writer):
+                writer.write(b"event: progress\\n\\n")
+                await writer.drain()
+            """,
+        )
+        assert len(_findings(tmp_path)) == 1
+
+    def test_bounded_service_io_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.service.good",
+            """
+            import asyncio
+
+            async def pump(reader, timeout):
+                return await asyncio.wait_for(reader.readline(), timeout)
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+    def test_job_closure_socket_fires(self, write_module, tmp_path):
+        # The job entry is swept like a fabric worker entry: anything
+        # reachable from _run_job must not open sockets.
+        write_module(
+            "repro.service.jobs",
+            """
+            import socket
+
+            def _run_job(manager, job):
+                return phone_home(job)
+
+            def phone_home(job):
+                return socket.create_connection(("10.0.0.1", 9))
+            """,
+        )
+        findings = _findings(tmp_path)
+        assert len(findings) == 1
+        assert "socket.create_connection" in findings[0].message
+
+    def test_socket_free_job_closure_is_clean(self, write_module, tmp_path):
+        write_module(
+            "repro.service.jobs",
+            """
+            def _run_job(manager, job):
+                return compute(job)
+
+            def compute(job):
+                return sum(job)
+            """,
+        )
+        assert _findings(tmp_path) == []
+
+
 class TestWorkerClosureSweep:
     def test_socket_in_shard_closure_fires(self, write_module, tmp_path):
         write_module(
@@ -184,8 +256,15 @@ class TestWorkerClosureSweep:
 
 
 class TestSelfCompliance:
-    def test_shipped_fabric_package_is_clean(self):
-        # The rule's own subject matter: the real fabric package must
-        # carry zero findings, or the availability story is a lie.
+    def test_shipped_networked_packages_are_clean(self):
+        # The rule's own subject matter: the real fabric and service
+        # packages must carry zero findings, or the availability story
+        # is a lie.
         findings = run_project_checks(["src/repro"], rules=SOCKET_RULES)
         assert findings == []
+
+    def test_service_is_in_the_sweep(self):
+        from repro.checks.sockets import JOB_ENTRY_QUALNAMES, SWEPT_PACKAGES
+
+        assert "repro.service" in SWEPT_PACKAGES
+        assert "repro.service.jobs._run_job" in JOB_ENTRY_QUALNAMES

@@ -1,0 +1,386 @@
+"""Codec tests for the service tier: campaign specs, job records, the
+job registry stream, and the full-fidelity result artefact.
+
+The spec codec is the service's input-validation boundary — every error
+must name the offending field by dotted path, and the round trip
+``decode(encode(campaign))`` must be lossless. The job registry reuses
+the checkpoint stream's torn-write hygiene, so the same recovery
+invariants are pinned here: torn tails heal, torn records skip with a
+warning, corrupt headers refuse.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.campaign import Campaign, ConvWorkload, GemmWorkload
+from repro.core.executor import SerialExecutor
+from repro.core.resilience import CheckpointCorrupt
+from repro.core.serialize import (
+    JOB_STATES,
+    SCHEMA_VERSION,
+    SpecError,
+    campaign_result_from_record,
+    campaign_result_record,
+    decode_campaign_spec,
+    encode_campaign_spec,
+    job_from_record,
+    job_record,
+    job_registry_header,
+    read_job_registry,
+)
+from repro.service.jobs import JobManager
+from repro.systolic import Dataflow, MeshConfig
+
+from tests.core._support import assert_campaigns_equivalent
+
+
+def gemm_spec(**overrides):
+    """A minimal valid spec; overrides merge at the top level."""
+    spec = {
+        "mesh": {"rows": 4, "cols": 4},
+        "workload": {"op": "gemm", "m": 8, "k": 8, "n": 8},
+    }
+    spec.update(overrides)
+    return spec
+
+
+def spec_error(data) -> SpecError:
+    with pytest.raises(SpecError) as excinfo:
+        decode_campaign_spec(data)
+    return excinfo.value
+
+
+class TestSpecDecode:
+    def test_minimal_gemm_defaults(self):
+        campaign, executor = decode_campaign_spec(gemm_spec())
+        assert campaign.mesh == MeshConfig(rows=4, cols=4)
+        assert isinstance(campaign.workload, GemmWorkload)
+        assert campaign.workload.dataflow is Dataflow.WEIGHT_STATIONARY
+        assert campaign.engine_kind == "functional"
+        assert campaign.keep_patterns is True
+        assert len(campaign.sites) == 16
+        assert executor == {"kind": "serial"}
+
+    def test_conv_workload(self):
+        campaign, _ = decode_campaign_spec(gemm_spec(workload={
+            "op": "conv",
+            "input_size": 6,
+            "kernel": [3, 3, 2, 4],
+            "stride": 1,
+            "padding": 1,
+        }))
+        workload = campaign.workload
+        assert isinstance(workload, ConvWorkload)
+        assert workload.kernel_rows == 3
+        assert workload.out_channels == 4
+
+    def test_explicit_sites_decode_as_tuples(self):
+        campaign, _ = decode_campaign_spec(
+            gemm_spec(sites=[[0, 0], [3, 3]])
+        )
+        assert campaign.sites == [(0, 0), (3, 3)]
+
+    def test_executor_parallel_default_jobs(self):
+        _, executor = decode_campaign_spec(
+            gemm_spec(executor={"kind": "parallel"})
+        )
+        assert executor == {"kind": "parallel", "jobs": 2}
+
+    def test_executor_fabric_defaults(self):
+        _, executor = decode_campaign_spec(
+            gemm_spec(executor={"kind": "fabric", "port": 9500})
+        )
+        assert executor == {
+            "kind": "fabric",
+            "host": "127.0.0.1",
+            "port": 9500,
+            "workers": 2,
+            "lease_seconds": 10.0,
+            "heartbeat_interval": 2.0,
+            "join_timeout": 60.0,
+        }
+
+
+class TestSpecErrors:
+    """Every rejection names the broken field by dotted path."""
+
+    def test_unknown_top_level_field(self):
+        assert spec_error(gemm_spec(frob=1)).path == "frob"
+
+    def test_unknown_workload_field(self):
+        exc = spec_error(gemm_spec(workload={
+            "op": "gemm", "m": 8, "k": 8, "n": 8, "frob": 1,
+        }))
+        assert str(exc) == "workload.frob: unknown field"
+
+    def test_unknown_executor_field(self):
+        exc = spec_error(gemm_spec(executor={"kind": "serial", "frob": 1}))
+        assert exc.path == "executor.frob"
+
+    def test_missing_mesh(self):
+        exc = spec_error({"workload": {"op": "gemm", "m": 1, "k": 1, "n": 1}})
+        assert (exc.path, exc.message) == ("mesh", "required field")
+
+    def test_missing_gemm_dimension(self):
+        exc = spec_error(gemm_spec(workload={"op": "gemm", "m": 8, "k": 8}))
+        assert str(exc) == "workload.n: required field"
+
+    def test_wrong_type_names_field(self):
+        exc = spec_error(gemm_spec(workload={
+            "op": "gemm", "m": "eight", "k": 8, "n": 8,
+        }))
+        assert exc.path == "workload.m"
+        assert "expected an integer" in exc.message
+
+    def test_bool_is_not_an_integer(self):
+        exc = spec_error(gemm_spec(mesh={"rows": True, "cols": 4}))
+        assert exc.path == "mesh.rows"
+
+    def test_site_outside_mesh_names_index(self):
+        exc = spec_error(gemm_spec(sites=[[0, 0], [4, 0]]))
+        assert exc.path == "sites[1]"
+        assert "outside the 4x4 mesh" in exc.message
+
+    def test_malformed_site_names_index(self):
+        exc = spec_error(gemm_spec(sites=[[0, 0, 0]]))
+        assert exc.path == "sites[0]"
+
+    def test_schema_version_guard(self):
+        exc = spec_error(gemm_spec(schema_version=999))
+        assert exc.path == "schema_version"
+        assert "999" in exc.message
+
+    def test_wrong_kind(self):
+        exc = spec_error(gemm_spec(kind="campaign-result"))
+        assert exc.path == "kind"
+
+    def test_bad_engine_choice(self):
+        exc = spec_error(gemm_spec(engine="quantum"))
+        assert exc.path == "engine"
+        assert "analytic" in exc.message
+
+    def test_fabric_heartbeat_must_beat_lease(self):
+        exc = spec_error(gemm_spec(executor={
+            "kind": "fabric",
+            "lease_seconds": 2.0,
+            "heartbeat_interval": 2.0,
+        }))
+        assert exc.path == "executor.heartbeat_interval"
+
+    def test_non_object_spec(self):
+        exc = spec_error([1, 2, 3])
+        assert "expected an object" in exc.message
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("executor", [
+        None,
+        {"kind": "parallel", "jobs": 3},
+        {
+            "kind": "fabric", "host": "127.0.0.1", "port": 9500,
+            "workers": 2, "lease_seconds": 5.0,
+            "heartbeat_interval": 1.0, "join_timeout": 30.0,
+        },
+    ])
+    def test_gemm_round_trip(self, executor):
+        campaign, decoded_executor = decode_campaign_spec(gemm_spec(
+            engine="analytic",
+            fault={"signal": "sum", "bit": 12, "stuck": 0},
+            sites=[[1, 2], [2, 1]],
+            keep_patterns=False,
+            executor=executor or {"kind": "serial"},
+        ))
+        encoded = encode_campaign_spec(campaign, decoded_executor)
+        rebuilt, executor_again = decode_campaign_spec(encoded)
+        assert rebuilt.mesh == campaign.mesh
+        assert rebuilt.workload == campaign.workload
+        assert rebuilt.fault_spec == campaign.fault_spec
+        assert rebuilt.engine_kind == campaign.engine_kind
+        assert rebuilt.sites == campaign.sites
+        assert rebuilt.keep_patterns == campaign.keep_patterns
+        assert executor_again == decoded_executor
+        # And the encoding itself is a fixed point.
+        assert encode_campaign_spec(rebuilt, executor_again) == encoded
+
+    def test_conv_round_trip(self):
+        campaign, executor = decode_campaign_spec(gemm_spec(workload={
+            "op": "conv", "input_size": 6, "kernel": [3, 3, 2, 4],
+            "batch": 2, "stride": 2, "padding": 1,
+            "dataflow": "OS", "fill": "random", "seed": 7,
+        }))
+        rebuilt, _ = decode_campaign_spec(
+            encode_campaign_spec(campaign, executor)
+        )
+        assert rebuilt.workload == campaign.workload
+
+    def test_encoded_spec_is_json_clean(self):
+        campaign, executor = decode_campaign_spec(gemm_spec())
+        encoded = encode_campaign_spec(campaign, executor)
+        assert json.loads(json.dumps(encoded)) == encoded
+        assert encoded["sites"] == [list(site) for site in campaign.sites]
+
+
+class TestJobRecords:
+    def test_round_trip(self):
+        record = job_record("job-000007", 3, "running", gemm_spec())
+        assert job_from_record(record) == {
+            "job_id": "job-000007",
+            "seq": 3,
+            "state": "running",
+            "spec": gemm_spec(),
+            "error": None,
+        }
+
+    def test_every_state_is_encodable(self):
+        for state in JOB_STATES:
+            assert job_from_record(
+                job_record("job-1", 0, state, {})
+            )["state"] == state
+
+    def test_unknown_state_rejected_on_write(self):
+        with pytest.raises(ValueError, match="unknown job state"):
+            job_record("job-1", 0, "paused", {})
+
+    def test_unknown_field_rejected(self):
+        record = job_record("job-1", 0, "queued", {})
+        record["frob"] = 1
+        with pytest.raises(ValueError, match="unknown job record fields"):
+            job_from_record(record)
+
+    def test_schema_version_guard(self):
+        record = job_record("job-1", 0, "queued", {})
+        record["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            job_from_record(record)
+
+    def test_missing_field_rejected(self):
+        record = job_record("job-1", 0, "queued", {})
+        del record["seq"]
+        with pytest.raises(ValueError, match="missing 'seq'"):
+            job_from_record(record)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="not a job record"):
+            job_from_record({"kind": "experiment"})
+
+
+def write_registry(path, *records, torn: str | None = None):
+    lines = [json.dumps(job_registry_header())]
+    lines.extend(json.dumps(record) for record in records)
+    text = "\n".join(lines) + "\n"
+    if torn is not None:
+        text += torn  # no trailing newline: a torn tail
+    path.write_text(text)
+
+
+class TestJobRegistryStream:
+    def test_read_in_file_order(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        write_registry(
+            path,
+            job_record("job-1", 0, "queued", {}),
+            job_record("job-1", 1, "running", {}),
+        )
+        states = [r["state"] for r in read_job_registry(path)]
+        assert states == ["queued", "running"]
+
+    def test_torn_tail_record_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        write_registry(
+            path,
+            job_record("job-1", 0, "queued", {}),
+            torn='{"kind": "job", "job_id": "job-2", "se',
+        )
+        with pytest.warns(RuntimeWarning, match="corrupt job registry"):
+            records = read_job_registry(path)
+        assert [r["job_id"] for r in records] == ["job-1"]
+
+    def test_corrupt_header_refused(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        path.write_text('{"kind": "checkpoint"}\n')
+        with pytest.raises(ValueError, match="not a job registry"):
+            read_job_registry(path)
+
+    def test_empty_file_refused(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_job_registry(path)
+
+    def test_manager_heals_torn_tail_and_restores(self, tmp_path):
+        """The writer appends a newline before new records, so the torn
+        fragment damages exactly one snapshot — not the one after it."""
+        registry = tmp_path / "jobs.jsonl"
+        write_registry(
+            registry,
+            job_record("job-000001", 0, "queued", gemm_spec()),
+            torn='{"kind": "job", "job_id": "job-000002"',
+        )
+        manager = JobManager(tmp_path)
+        with pytest.warns(RuntimeWarning):
+            restored = manager.open(resume=True)
+        assert restored == 1
+        job = manager.get("job-000001")
+        assert job.state == "queued"
+        # The healed stream accepts appends that survive a re-read.
+        manager._transition(job, "running")
+        manager.close()
+        with pytest.warns(RuntimeWarning):
+            records = read_job_registry(registry)
+        assert records[-1]["state"] == "running"
+
+    def test_manager_refuses_torn_header(self, tmp_path):
+        (tmp_path / "jobs.jsonl").write_text('{"kind": "job-registr')
+        with pytest.raises(CheckpointCorrupt, match="torn or unrecognizable"):
+            JobManager(tmp_path).open()
+
+    def test_running_jobs_requeue_on_resume(self, tmp_path):
+        write_registry(
+            tmp_path / "jobs.jsonl",
+            job_record("job-000001", 1, "done", gemm_spec()),
+            job_record("job-000002", 1, "running", gemm_spec()),
+        )
+        manager = JobManager(tmp_path)
+        assert manager.open(resume=True) == 1
+        requeued = manager.get("job-000002")
+        assert requeued.state == "queued"
+        assert requeued.seq == 2
+        assert manager.get("job-000001").state == "done"
+        # Fresh ids continue past everything ever recorded.
+        assert manager.submit(gemm_spec()).job_id == "job-000003"
+        manager.close()
+
+
+class TestResultArtefact:
+    def test_full_fidelity_round_trip(self):
+        campaign, _ = decode_campaign_spec(gemm_spec())
+        result = campaign.run(SerialExecutor())
+        artefact = json.loads(json.dumps(campaign_result_record(result)))
+        rebuilt = campaign_result_from_record(artefact, campaign)
+        assert_campaigns_equivalent(result, rebuilt)
+
+    def test_round_trip_without_patterns(self):
+        campaign, _ = decode_campaign_spec(
+            gemm_spec(keep_patterns=False, sites=[[0, 0], [1, 1]])
+        )
+        result = campaign.run(SerialExecutor())
+        rebuilt = campaign_result_from_record(
+            campaign_result_record(result), campaign
+        )
+        assert_campaigns_equivalent(result, rebuilt)
+
+    def test_schema_version_guard(self):
+        campaign, _ = decode_campaign_spec(gemm_spec(sites=[[0, 0]]))
+        result = campaign.run(SerialExecutor())
+        artefact = campaign_result_record(result)
+        artefact["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            campaign_result_from_record(artefact, campaign)
+
+    def test_wrong_kind_rejected(self):
+        campaign, _ = decode_campaign_spec(gemm_spec(sites=[[0, 0]]))
+        with pytest.raises(ValueError, match="not a campaign result"):
+            campaign_result_from_record({"kind": "job"}, campaign)

@@ -1,0 +1,164 @@
+"""Unit tests for the hand-rolled HTTP layer and the SSE encoder.
+
+These run the parser against in-memory :class:`asyncio.StreamReader`
+instances — no sockets — so every malformed-input branch is exercised
+deterministically: bad request lines, header floods, body caps, torn
+bodies, and the timeout paths the socket-discipline contract demands.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    MAX_HEADER_LINES,
+    HttpError,
+    HttpRequest,
+    json_response,
+    read_request,
+    render_response,
+)
+from repro.service.sse import format_event
+
+
+def parse(raw: bytes, timeout: float = 1.0, max_body: int = 1024):
+    """Feed ``raw`` to the parser as a complete client transmission."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, timeout, max_body)
+
+    return asyncio.run(go())
+
+
+def parse_error(raw: bytes, **kwargs) -> HttpError:
+    with pytest.raises(HttpError) as excinfo:
+        parse(raw, **kwargs)
+    return excinfo.value
+
+
+class TestReadRequest:
+    def test_get_with_query_and_encoded_path(self):
+        request = parse(
+            b"GET /campaigns/job%2D1?limit=5&full=yes HTTP/1.1\r\n"
+            b"Host: localhost\r\n\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/campaigns/job-1"
+        assert request.query == {"limit": "5", "full": "yes"}
+        assert request.headers["host"] == "localhost"
+        assert request.body == b""
+
+    def test_post_with_body(self):
+        body = json.dumps({"mesh": {"rows": 4, "cols": 4}}).encode()
+        request = parse(
+            b"POST /campaigns HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert request.method == "POST"
+        assert request.json() == {"mesh": {"rows": 4, "cols": 4}}
+
+    def test_clean_eof_is_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line(self):
+        assert parse_error(b"GET\r\n\r\n").status == 400
+
+    def test_unsupported_protocol(self):
+        exc = parse_error(b"GET / HTTP/2\r\n\r\n")
+        assert exc.status == 400
+        assert "HTTP/2" in exc.detail
+
+    def test_chunked_body_not_implemented(self):
+        exc = parse_error(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        )
+        assert exc.status == 501
+
+    def test_body_over_cap_is_413(self):
+        exc = parse_error(
+            b"POST / HTTP/1.1\r\nContent-Length: 2048\r\n\r\n",
+            max_body=1024,
+        )
+        assert exc.status == 413
+        assert "1024-byte cap" in exc.detail
+
+    def test_body_shorter_than_declared_is_400(self):
+        exc = parse_error(
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+        )
+        assert exc.status == 400
+        assert "shorter than Content-Length" in exc.detail
+
+    def test_malformed_content_length(self):
+        exc = parse_error(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+        assert exc.status == 400
+
+    def test_negative_content_length(self):
+        assert parse_error(
+            b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+        ).status == 400
+
+    def test_header_line_without_colon(self):
+        assert parse_error(
+            b"GET / HTTP/1.1\r\nnot-a-header\r\n\r\n"
+        ).status == 400
+
+    def test_header_flood_is_400(self):
+        flood = b"".join(
+            b"X-Pad-%d: x\r\n" % i for i in range(MAX_HEADER_LINES + 1)
+        )
+        exc = parse_error(b"GET / HTTP/1.1\r\n" + flood + b"\r\n")
+        assert exc.status == 400
+        assert str(MAX_HEADER_LINES) in exc.detail
+
+    def test_stalled_peer_times_out_408(self):
+        async def go():
+            reader = asyncio.StreamReader()  # never fed: a silent peer
+            with pytest.raises(HttpError) as excinfo:
+                await read_request(reader, 0.05, 1024)
+            return excinfo.value
+
+        assert asyncio.run(go()).status == 408
+
+
+class TestResponses:
+    def test_render_response_shape(self):
+        payload = render_response(200, b"hi", content_type="text/plain")
+        head, _, body = payload.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 2" in head
+        assert b"Connection: close" in head
+        assert body == b"hi"
+
+    def test_json_response_round_trips(self):
+        payload = json_response(201, {"job_id": "job-1"})
+        _, _, body = payload.partition(b"\r\n\r\n")
+        assert json.loads(body) == {"job_id": "job-1"}
+
+    def test_error_status_reasons(self):
+        assert b"429 Too Many Requests" in json_response(429, {})
+        assert b"409 Conflict" in json_response(409, {})
+
+    def test_request_json_rejects_garbage(self):
+        request = HttpRequest(method="POST", path="/", body=b"{nope")
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+
+class TestSseEncoding:
+    def test_frame_anatomy(self):
+        frame = format_event("progress", {"done": 3, "total": 16})
+        lines = frame.decode().split("\n")
+        assert lines[0] == "event: progress"
+        assert json.loads(lines[1].removeprefix("data: ")) == {
+            "done": 3, "total": 16,
+        }
+        assert frame.endswith(b"\n\n")

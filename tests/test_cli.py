@@ -92,6 +92,54 @@ class TestParser:
         assert args.progress is True
 
 
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.listen == ("127.0.0.1", 8100)
+        assert args.state_dir == ".repro-service"
+        assert args.resume is False
+        assert args.max_queued == 16
+        assert args.max_body_bytes == 1024 * 1024
+        assert args.io_timeout == 30.0
+        assert args.sse_interval == 0.25
+
+    def test_serve_listen_parses_host_port(self):
+        args = build_parser().parse_args(["serve", "--listen", "0.0.0.0:0"])
+        assert args.listen == ("0.0.0.0", 0)
+
+
+class TestLeaseHeartbeatValidation:
+    """A heartbeat interval at or past the lease duration means every
+    lease expires between renewals — rejected at argument-parse time."""
+
+    @pytest.mark.parametrize(
+        "heartbeat, lease",
+        [("5", "5"), ("6", "5"), ("10.0", "2.5")],
+    )
+    def test_heartbeat_not_shorter_than_lease_is_a_usage_error(
+        self, heartbeat, lease, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "campaign", "--heartbeat-interval", heartbeat,
+                "--lease-seconds", lease,
+            ])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--heartbeat-interval" in err
+        assert "must be shorter than" in err
+
+    def test_valid_pair_reaches_the_handler(self, tmp_path, monkeypatch):
+        # A conforming pair parses straight through: the command runs a
+        # real (local, serial) campaign and exits 0.
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "campaign", "--rows", "2", "--cols", "2", "--size", "2",
+            "--heartbeat-interval", "1", "--lease-seconds", "5",
+        ])
+        assert code == 0
+
+
 class TestCampaignCommand:
     def test_gemm_campaign_summary(self, capsys):
         code = main(
